@@ -1,0 +1,161 @@
+//! Ablation studies for the design choices DESIGN.md calls out: each
+//! bench compares a configuration pair on the same workload so the effect
+//! of the mechanism is the measured quantity's ratio.
+
+use bps_core::record::{FileId, IoOp};
+use bps_core::time::{Dur, Nanos};
+use bps_experiments::runner::{run_case, CaseSpec, LayoutPolicy, Storage};
+use bps_fs::cluster::{Cluster, ClusterConfig, DeviceSpec};
+use bps_middleware::sieving::SievingConfig;
+use bps_sim::cache::PageCache;
+use bps_sim::device::hdd::HddProfile;
+use bps_sim::device::{Device, DeviceReq, DiskSched};
+use bps_sim::device::hdd::Hdd;
+use bps_sim::rng::{Jitter, SimRng};
+use bps_workloads::hpio::Hpio;
+use bps_workloads::iozone::Iozone;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Data sieving on vs off across region spacings: where does the crossover
+/// sit?
+fn sieving_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sieving_ablation");
+    g.sample_size(10);
+    for &spacing in &[8u64, 1024, 4096] {
+        for (name, cfg) in [
+            ("on", SievingConfig::romio_default()),
+            ("off", SievingConfig::disabled()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, spacing),
+                &(spacing, cfg),
+                |b, &(spacing, cfg)| {
+                    b.iter(|| {
+                        let w = Hpio::paper_shape(512, spacing, 2);
+                        let mut spec = CaseSpec::new(Storage::Pvfs { servers: 2 }, &w);
+                        spec.layout = LayoutPolicy::DefaultStripe;
+                        spec.clients = 2;
+                        spec.sieving = cfg;
+                        black_box(run_case(&spec, 1).execution_time())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// FIFO vs elevator disk scheduling under random concurrent access: the
+/// elevator approximation should cut the simulated service time.
+fn disk_sched_ablation(c: &mut Criterion) {
+    let run = |sched: DiskSched| {
+        let mut dev = Device::new(
+            Box::new(Hdd::new(HddProfile::sata_7200_250gb())),
+            sched,
+            Jitter::NONE,
+            SimRng::seed_from_u64(5),
+        );
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut done = Nanos::ZERO;
+        // 512 random 64 KB requests arriving in a burst: deep queue.
+        for _ in 0..512 {
+            let lba = rng.below(400_000_000);
+            let g = dev.submit(
+                Nanos::ZERO,
+                DeviceReq {
+                    lba,
+                    blocks: 128,
+                    op: IoOp::Read,
+                },
+            );
+            done = done.max(g.end);
+        }
+        done
+    };
+    let mut g = c.benchmark_group("disk_sched_ablation");
+    g.bench_function("fifo", |b| b.iter(|| black_box(run(DiskSched::Fifo))));
+    g.bench_function("elevator", |b| b.iter(|| black_box(run(DiskSched::Elevator))));
+    // Sanity once per run: the elevator must win on simulated time.
+    assert!(run(DiskSched::Elevator) < run(DiskSched::Fifo));
+    g.finish();
+}
+
+/// Stripe-size sweep for a striped sequential read: smaller stripes spread
+/// one request over more servers but cost more per-chunk overhead.
+fn stripe_ablation(c: &mut Criterion) {
+    use bps_fs::layout::StripeLayout;
+    use bps_fs::pfs::ParallelFs;
+    use bps_middleware::process::run_workload;
+    use bps_middleware::stack::{FsBackend, IoStack};
+    use bps_workloads::spec::Workload;
+
+    let mut g = c.benchmark_group("stripe_ablation");
+    g.sample_size(10);
+    for &stripe in &[16u64 << 10, 64 << 10, 256 << 10, 1 << 20] {
+        g.bench_with_input(BenchmarkId::from_parameter(stripe >> 10), &stripe, |b, &stripe| {
+            b.iter(|| {
+                let w = Iozone::seq_read(16 << 20, 1 << 20);
+                let cluster = Cluster::new(&ClusterConfig {
+                    servers: 4,
+                    clients: 1,
+                    device: DeviceSpec::Hdd(HddProfile::sata_7200_250gb()),
+                    sched: DiskSched::Fifo,
+                    server_cpu: Dur::from_micros(25),
+                    jitter: Jitter::NONE,
+                    seed: 1,
+                    record_device_layer: false,
+                });
+                let mut pfs = ParallelFs::new(4);
+                let files: Vec<FileId> = w
+                    .file_sizes()
+                    .iter()
+                    .map(|&s| pfs.create(s, StripeLayout::new(stripe, vec![0, 1, 2, 3])))
+                    .collect();
+                let stack = IoStack::new(cluster, FsBackend::Parallel(pfs));
+                let (trace, _) = run_workload(stack, &w, &files, Dur::from_micros(5));
+                black_box(trace.execution_time())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Page cache cold vs warm: why the paper flushed caches before every run.
+fn cache_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_ablation");
+    g.bench_function("cold_rereads", |b| {
+        b.iter(|| {
+            let mut cache = PageCache::new(64 << 20);
+            let mut misses = 0;
+            for pass in 0..4 {
+                cache.flush(); // the paper's protocol
+                let l = cache.access(0, 0, 16 << 20);
+                misses += l.misses;
+                let _ = pass;
+            }
+            black_box(misses)
+        })
+    });
+    g.bench_function("warm_rereads", |b| {
+        b.iter(|| {
+            let mut cache = PageCache::new(64 << 20);
+            let mut misses = 0;
+            for _pass in 0..4 {
+                let l = cache.access(0, 0, 16 << 20);
+                misses += l.misses;
+            }
+            black_box(misses)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    sieving_ablation,
+    disk_sched_ablation,
+    stripe_ablation,
+    cache_ablation
+);
+criterion_main!(benches);

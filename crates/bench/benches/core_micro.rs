@@ -1,0 +1,110 @@
+//! Microbenchmarks for the measurement machinery itself — the executable
+//! form of the paper's §III.C overhead analysis ("the complexity of the
+//! algorithm is O(nlog2n) ... the computing overhead of this algorithm is
+//! very affordable").
+
+use bps_bench::{random_intervals, random_trace};
+use bps_core::correlation::pearson;
+use bps_core::interval::{paper_union_time, union_time};
+use bps_core::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
+use bps_core::report::MetricsSummary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Interval-union scaling: the paper's Figure 3 algorithm vs the sweep, at
+/// 1k / 10k / 100k records (the paper's overhead example is 65 535 ops).
+fn bench_interval_union(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interval_union");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let ivs = random_intervals(n, 42);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("paper_fig3", n), &ivs, |b, ivs| {
+            b.iter(|| paper_union_time(black_box(ivs)))
+        });
+        g.bench_with_input(BenchmarkId::new("sweep", n), &ivs, |b, ivs| {
+            b.iter(|| union_time(black_box(ivs.iter().copied())))
+        });
+    }
+    g.finish();
+}
+
+/// The four paper metrics over a 10k-record trace.
+fn bench_metrics(c: &mut Criterion) {
+    let trace = random_trace(10_000, 7);
+    let mut g = c.benchmark_group("metrics_10k_records");
+    g.bench_function("bps", |b| b.iter(|| Bps.compute(black_box(&trace))));
+    g.bench_function("iops", |b| b.iter(|| Iops.compute(black_box(&trace))));
+    g.bench_function("bandwidth", |b| {
+        b.iter(|| Bandwidth.compute(black_box(&trace)))
+    });
+    g.bench_function("arpt", |b| b.iter(|| Arpt.compute(black_box(&trace))));
+    g.bench_function("full_summary", |b| {
+        b.iter(|| MetricsSummary::from_trace(black_box(&trace)))
+    });
+    g.finish();
+}
+
+/// Correlation over typical figure-sized series.
+fn bench_correlation(c: &mut Criterion) {
+    let x: Vec<f64> = (0..64).map(|i| (i as f64).sin() * 100.0).collect();
+    let y: Vec<f64> = (0..64).map(|i| (i as f64).cos() * 50.0 + 3.0).collect();
+    c.bench_function("pearson_64", |b| {
+        b.iter(|| pearson(black_box(&x), black_box(&y)))
+    });
+}
+
+/// The 32-byte binary trace codec (the paper's storage overhead claim).
+fn bench_binary_codec(c: &mut Criterion) {
+    let trace = random_trace(65_535, 3); // the paper's example op count
+    let encoded = bps_trace::format::to_binary(&trace);
+    let mut g = c.benchmark_group("binary_codec_65535_records");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| bps_trace::format::to_binary(black_box(&trace)))
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| bps_trace::format::from_binary(black_box(&encoded)).unwrap())
+    });
+    g.finish();
+}
+
+/// Raw engine throughput: wakes per second through the event heap.
+fn bench_engine(c: &mut Criterion) {
+    use bps_core::time::{Dur, Nanos};
+    use bps_sim::engine::{run_processes, Process, Wake, Waker};
+    struct Spin {
+        left: u32,
+        period: Dur,
+    }
+    impl Process<()> for Spin {
+        fn wake(&mut self, now: Nanos, _env: &mut (), _waker: &mut Waker) -> Wake {
+            if self.left == 0 {
+                Wake::Done
+            } else {
+                self.left -= 1;
+                Wake::At(now + self.period)
+            }
+        }
+    }
+    c.bench_function("engine_100k_wakes", |b| {
+        b.iter(|| {
+            let mut procs: Vec<Spin> = (0..16)
+                .map(|i| Spin {
+                    left: 100_000 / 16,
+                    period: Dur(1_000 + i * 7),
+                })
+                .collect();
+            run_processes(black_box(&mut procs), &mut ())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interval_union,
+    bench_metrics,
+    bench_correlation,
+    bench_binary_codec,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! One bench per paper table/figure: each regenerates its experiment's
+//! data at test scale, so `cargo bench -p bps-bench` both re-derives every
+//! result and tracks the cost of doing so.
+
+use bps_experiments::figures::{
+    fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, summary,
+    tables,
+};
+use bps_experiments::scale::Scale;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tables_and_concept_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables_and_concepts");
+    g.bench_function("table1", |b| b.iter(|| black_box(tables::table1())));
+    g.bench_function("table2", |b| b.iter(|| black_box(tables::table2())));
+    g.bench_function("fig01_two_request_cases", |b| {
+        b.iter(|| black_box(fig01::report()))
+    });
+    g.bench_function("fig02_overlapped_time", |b| {
+        b.iter(|| black_box(fig02::report()))
+    });
+    g.bench_function("fig03_algorithm", |b| b.iter(|| black_box(fig03::report())));
+    g.finish();
+}
+
+fn bench_experiment_figures(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let mut g = c.benchmark_group("figures_tiny_scale");
+    g.sample_size(10);
+    g.bench_function("fig04_devices", |b| b.iter(|| black_box(fig04::run(&scale))));
+    g.bench_function("fig05_sizes_hdd", |b| {
+        b.iter(|| black_box(fig05::run(&scale)))
+    });
+    g.bench_function("fig06_sizes_ssd", |b| {
+        b.iter(|| black_box(fig06::run(&scale)))
+    });
+    g.bench_function("fig07_iops_detail", |b| {
+        b.iter(|| black_box(fig07::run(&scale)))
+    });
+    g.bench_function("fig08_arpt_detail", |b| {
+        b.iter(|| black_box(fig08::run(&scale)))
+    });
+    g.bench_function("fig09_concurrency_pure", |b| {
+        b.iter(|| black_box(fig09::run(&scale)))
+    });
+    g.bench_function("fig10_arpt_concurrency", |b| {
+        b.iter(|| black_box(fig10::run(&scale)))
+    });
+    g.bench_function("fig11_ior", |b| b.iter(|| black_box(fig11::run(&scale))));
+    g.bench_function("fig12_sieving", |b| b.iter(|| black_box(fig12::run(&scale))));
+    g.finish();
+
+    let mut g = c.benchmark_group("summary");
+    g.sample_size(10);
+    g.bench_function("summary_all_sets", |b| {
+        b.iter(|| black_box(summary::report(&scale)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables_and_concept_figures, bench_experiment_figures);
+criterion_main!(benches);

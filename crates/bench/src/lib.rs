@@ -1,0 +1,77 @@
+//! # bps-bench — benchmark helpers
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! * `core_micro` — the §III.C overhead analysis: interval-union scaling
+//!   (the paper's Figure 3 algorithm vs the sweep), metric computation,
+//!   correlation, and the 32-byte binary codec.
+//! * `figures` — one bench per paper table/figure, regenerating its data
+//!   at test scale so regressions in any experiment's cost are caught.
+//! * `ablations` — the design-choice studies DESIGN.md calls out: data
+//!   sieving on/off, FIFO vs elevator scheduling, stripe-size sweep, page
+//!   cache cold vs warm.
+//!
+//! This library hosts shared generators so the benches stay small.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use bps_core::interval::Interval;
+use bps_core::record::{FileId, IoRecord, ProcessId};
+use bps_core::time::Nanos;
+use bps_core::trace::Trace;
+use bps_sim::rng::SimRng;
+
+/// `n` random, partially overlapping intervals for union benchmarks.
+pub fn random_intervals(n: usize, seed: u64) -> Vec<Interval> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut t = 0u64;
+    (0..n)
+        .map(|_| {
+            t += rng.below(100_000);
+            let len = 1_000 + rng.below(300_000);
+            Interval::new(Nanos(t), Nanos(t + len))
+        })
+        .collect()
+}
+
+/// A synthetic multi-process application trace with `n` records.
+pub fn random_trace(n: usize, seed: u64) -> Trace {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut trace = Trace::new();
+    let mut clocks = [0u64; 4];
+    for i in 0..n {
+        let pid = (i % 4) as u32;
+        let start = clocks[pid as usize] + rng.below(50_000);
+        let dur = 10_000 + rng.below(500_000);
+        clocks[pid as usize] = start + dur;
+        trace.push(IoRecord::app_read(
+            ProcessId(pid),
+            FileId(0),
+            i as u64 * 65536,
+            4096 + rng.below(1 << 20),
+            Nanos(start),
+            Nanos(start + dur),
+        ));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_sizes() {
+        assert_eq!(random_intervals(100, 1).len(), 100);
+        let t = random_trace(200, 2);
+        assert_eq!(t.len(), 200);
+        assert!(t.records().iter().all(|r| r.end >= r.start));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_intervals(50, 3), random_intervals(50, 3));
+        assert_eq!(random_trace(50, 4).records(), random_trace(50, 4).records());
+    }
+}

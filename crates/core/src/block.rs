@@ -1,0 +1,101 @@
+//! Block arithmetic.
+//!
+//! The paper defines BPS in units of I/O *blocks* "because I/O systems
+//! usually read/write data from/to a block device", using the canonical
+//! 512-byte block. `B` in equation (1) is the number of blocks *required by
+//! the application*, so partial blocks round up: a 1-byte request still
+//! costs one block of data movement at the device.
+
+/// Canonical block size used by the BPS metric (bytes).
+pub const BLOCK_SIZE: u64 = 512;
+
+/// Number of `BLOCK_SIZE` blocks needed to hold `bytes` bytes (ceiling
+/// division). Zero bytes is zero blocks.
+///
+/// ```
+/// use bps_core::block::{blocks_for_bytes, BLOCK_SIZE};
+/// assert_eq!(blocks_for_bytes(0), 0);
+/// assert_eq!(blocks_for_bytes(1), 1);
+/// assert_eq!(blocks_for_bytes(BLOCK_SIZE), 1);
+/// assert_eq!(blocks_for_bytes(BLOCK_SIZE + 1), 2);
+/// ```
+pub const fn blocks_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(BLOCK_SIZE)
+}
+
+/// Number of bytes spanned by `blocks` whole blocks.
+pub const fn bytes_for_blocks(blocks: u64) -> u64 {
+    blocks * BLOCK_SIZE
+}
+
+/// Round `bytes` up to the next block boundary.
+pub const fn round_up_to_block(bytes: u64) -> u64 {
+    bytes_for_blocks(blocks_for_bytes(bytes))
+}
+
+/// Round an absolute byte offset down to its containing block boundary.
+pub const fn block_aligned_offset(offset: u64) -> u64 {
+    offset - offset % BLOCK_SIZE
+}
+
+/// The half-open block range `[first, last)` touched by the byte extent
+/// `[offset, offset + len)`. An empty extent touches no blocks.
+pub fn block_range(offset: u64, len: u64) -> (u64, u64) {
+    if len == 0 {
+        return (offset / BLOCK_SIZE, offset / BLOCK_SIZE);
+    }
+    let first = offset / BLOCK_SIZE;
+    let last = (offset + len - 1) / BLOCK_SIZE + 1;
+    (first, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceiling_division() {
+        assert_eq!(blocks_for_bytes(0), 0);
+        assert_eq!(blocks_for_bytes(511), 1);
+        assert_eq!(blocks_for_bytes(512), 1);
+        assert_eq!(blocks_for_bytes(513), 2);
+        assert_eq!(blocks_for_bytes(1 << 20), 2048);
+    }
+
+    #[test]
+    fn roundtrip_whole_blocks() {
+        for b in [0u64, 1, 7, 1024] {
+            assert_eq!(blocks_for_bytes(bytes_for_blocks(b)), b);
+        }
+    }
+
+    #[test]
+    fn round_up_is_idempotent_and_aligned() {
+        for bytes in [0u64, 1, 511, 512, 513, 4095, 4096] {
+            let r = round_up_to_block(bytes);
+            assert!(r >= bytes);
+            assert_eq!(r % BLOCK_SIZE, 0);
+            assert_eq!(round_up_to_block(r), r);
+        }
+    }
+
+    #[test]
+    fn block_range_covers_extent() {
+        // A request straddling one block boundary touches two blocks.
+        let (first, last) = block_range(500, 24);
+        assert_eq!((first, last), (0, 2));
+        // Aligned single-block request.
+        assert_eq!(block_range(512, 512), (1, 2));
+        // Empty request touches nothing.
+        let (f, l) = block_range(1000, 0);
+        assert_eq!(f, l);
+    }
+
+    #[test]
+    fn aligned_offset() {
+        assert_eq!(block_aligned_offset(0), 0);
+        assert_eq!(block_aligned_offset(511), 0);
+        assert_eq!(block_aligned_offset(512), 512);
+        assert_eq!(block_aligned_offset(1025), 1024);
+    }
+}

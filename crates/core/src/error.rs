@@ -1,0 +1,68 @@
+//! Error types shared by the BPS core algebra.
+
+use std::fmt;
+
+/// Errors produced when building or analyzing traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A record's end time precedes its start time.
+    InvertedInterval {
+        /// Start nanoseconds.
+        start: u64,
+        /// End nanoseconds.
+        end: u64,
+    },
+    /// A metric was asked to evaluate a trace containing no relevant records.
+    EmptyTrace {
+        /// The metric that was being computed.
+        metric: &'static str,
+    },
+    /// A correlation was requested over series of mismatched or insufficient length.
+    BadSeries {
+        /// Length of the x series.
+        x_len: usize,
+        /// Length of the y series.
+        y_len: usize,
+    },
+    /// One of the correlated series has zero variance, so the correlation
+    /// coefficient is undefined.
+    ZeroVariance,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvertedInterval { start, end } => {
+                write!(f, "interval ends ({end}ns) before it starts ({start}ns)")
+            }
+            CoreError::EmptyTrace { metric } => {
+                write!(f, "cannot compute {metric}: no matching records in trace")
+            }
+            CoreError::BadSeries { x_len, y_len } => write!(
+                f,
+                "correlation needs two equal-length series of >= 2 points, got {x_len} and {y_len}"
+            ),
+            CoreError::ZeroVariance => {
+                write!(f, "correlation undefined: a series has zero variance")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvertedInterval { start: 5, end: 3 };
+        assert!(e.to_string().contains("before it starts"));
+        let e = CoreError::EmptyTrace { metric: "BPS" };
+        assert!(e.to_string().contains("BPS"));
+        let e = CoreError::BadSeries { x_len: 1, y_len: 2 };
+        assert!(e.to_string().contains("1 and 2"));
+        assert!(CoreError::ZeroVariance.to_string().contains("variance"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Byte extents within a file.
+//!
+//! Noncontiguous I/O (the paper's Set 4, driven by HPIO through MPI-IO data
+//! sieving) is described as a list of file regions. An [`Extent`] is one
+//! such region; the helpers here normalize region lists and compute the
+//! quantities data sieving cares about: the covering hull and the hole
+//! bytes between regions.
+
+use serde::{Deserialize, Serialize};
+
+/// A byte range `[offset, offset + len)` within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Extent {
+    /// First byte.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Extent {
+    /// Construct an extent.
+    pub const fn new(offset: u64, len: u64) -> Self {
+        Extent { offset, len }
+    }
+
+    /// One past the last byte.
+    pub const fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// True for zero-length extents.
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `self` fully contains `other`.
+    pub fn contains(&self, other: &Extent) -> bool {
+        self.offset <= other.offset && other.end() <= self.end()
+    }
+
+    /// The smallest extent covering both.
+    pub fn hull(&self, other: &Extent) -> Extent {
+        let offset = self.offset.min(other.offset);
+        let end = self.end().max(other.end());
+        Extent {
+            offset,
+            len: end - offset,
+        }
+    }
+}
+
+/// Sort extents by offset and merge overlapping or touching neighbours,
+/// dropping empty ones. The result is a minimal disjoint ascending cover of
+/// the same bytes.
+pub fn normalize(extents: &[Extent]) -> Vec<Extent> {
+    let mut v: Vec<Extent> = extents.iter().copied().filter(|e| !e.is_empty()).collect();
+    v.sort_unstable_by_key(|e| (e.offset, e.len));
+    let mut out: Vec<Extent> = Vec::with_capacity(v.len());
+    for e in v {
+        match out.last_mut() {
+            Some(last) if e.offset <= last.end() => {
+                let end = last.end().max(e.end());
+                last.len = end - last.offset;
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+/// Total bytes covered by a *normalized* extent list.
+pub fn covered_bytes(normalized: &[Extent]) -> u64 {
+    normalized.iter().map(|e| e.len).sum()
+}
+
+/// The covering hull of a non-empty normalized list.
+pub fn hull(normalized: &[Extent]) -> Option<Extent> {
+    match (normalized.first(), normalized.last()) {
+        (Some(a), Some(b)) => Some(a.hull(b)),
+        _ => None,
+    }
+}
+
+/// The holes between consecutive regions of a normalized list — the bytes
+/// data sieving reads that the application never asked for.
+pub fn holes(normalized: &[Extent]) -> Vec<Extent> {
+    normalized
+        .windows(2)
+        .filter(|w| w[0].end() < w[1].offset)
+        .map(|w| Extent {
+            offset: w[0].end(),
+            len: w[1].offset - w[0].end(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(offset: u64, len: u64) -> Extent {
+        Extent::new(offset, len)
+    }
+
+    #[test]
+    fn normalize_merges_and_sorts() {
+        let n = normalize(&[e(10, 5), e(0, 5), e(14, 6), e(30, 0)]);
+        assert_eq!(n, vec![e(0, 5), e(10, 10)]);
+        assert_eq!(covered_bytes(&n), 15);
+    }
+
+    #[test]
+    fn touching_extents_merge() {
+        let n = normalize(&[e(0, 5), e(5, 5)]);
+        assert_eq!(n, vec![e(0, 10)]);
+    }
+
+    #[test]
+    fn hull_and_holes() {
+        let n = normalize(&[e(0, 4), e(10, 4), e(20, 4)]);
+        assert_eq!(hull(&n), Some(e(0, 24)));
+        assert_eq!(holes(&n), vec![e(4, 6), e(14, 6)]);
+        // Hole bytes + covered bytes = hull bytes.
+        let hole_bytes: u64 = holes(&n).iter().map(|h| h.len).sum();
+        assert_eq!(hole_bytes + covered_bytes(&n), hull(&n).unwrap().len);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(normalize(&[]).is_empty());
+        assert_eq!(hull(&[]), None);
+        assert!(holes(&[]).is_empty());
+        assert_eq!(covered_bytes(&[]), 0);
+    }
+
+    #[test]
+    fn contains_and_end() {
+        assert!(e(0, 10).contains(&e(2, 3)));
+        assert!(!e(0, 10).contains(&e(8, 5)));
+        assert!(e(0, 10).contains(&e(0, 10)));
+        assert_eq!(e(3, 4).end(), 7);
+    }
+
+    #[test]
+    fn nested_extents_normalize() {
+        let n = normalize(&[e(0, 100), e(10, 5), e(50, 200)]);
+        assert_eq!(n, vec![e(0, 250)]);
+    }
+}

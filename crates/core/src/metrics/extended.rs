@@ -1,0 +1,210 @@
+//! Diagnostics beyond the paper's four metrics.
+//!
+//! These are not part of the reproduced evaluation; they exist because the
+//! paper's conclusion promises "an easy-to-use toolkit", and a toolkit that
+//! can only print four numbers is not easy to use. The ablation benches also
+//! rely on them (e.g. effective parallelism to verify the concurrency
+//! experiments actually varied concurrency).
+
+use super::{Direction, Metric};
+use crate::record::Layer;
+use crate::trace::Trace;
+
+/// A latency percentile over application request response times, in seconds.
+///
+/// `LatencyPercentile::P99` answers the tail-latency question ARPT hides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPercentile(
+    /// Percentile rank in (0, 100].
+    pub f64,
+);
+
+impl LatencyPercentile {
+    /// Median response time.
+    pub const P50: LatencyPercentile = LatencyPercentile(50.0);
+    /// 99th percentile response time.
+    pub const P99: LatencyPercentile = LatencyPercentile(99.0);
+}
+
+impl Metric for LatencyPercentile {
+    fn name(&self) -> &'static str {
+        // Stable static names for the common ranks; callers needing exotic
+        // ranks format their own labels from `self.0`.
+        if self.0 == 50.0 {
+            "P50"
+        } else if self.0 == 99.0 {
+            "P99"
+        } else {
+            "Pxx"
+        }
+    }
+
+    fn expected_direction(&self) -> Direction {
+        Direction::Positive
+    }
+
+    fn compute(&self, trace: &Trace) -> Option<f64> {
+        let mut durs: Vec<f64> = trace
+            .layer(Layer::Application)
+            .map(|r| r.duration().as_secs_f64())
+            .collect();
+        if durs.is_empty() {
+            return None;
+        }
+        durs.sort_unstable_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        // Nearest-rank percentile.
+        let rank = ((self.0 / 100.0) * durs.len() as f64).ceil() as usize;
+        Some(durs[rank.clamp(1, durs.len()) - 1])
+    }
+
+    fn unit(&self) -> &'static str {
+        "s"
+    }
+}
+
+/// Effective parallelism: summed response time divided by overlapped I/O
+/// time. 1.0 means strictly sequential I/O; N means N requests were in
+/// flight on average while the system was busy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EffectiveParallelism;
+
+impl Metric for EffectiveParallelism {
+    fn name(&self) -> &'static str {
+        "EffPar"
+    }
+
+    fn expected_direction(&self) -> Direction {
+        Direction::Negative
+    }
+
+    fn compute(&self, trace: &Trace) -> Option<f64> {
+        let t = trace.overlapped_io_time(Layer::Application);
+        if trace.op_count(Layer::Application) == 0 || t.is_zero() {
+            return None;
+        }
+        Some(trace.summed_io_time(Layer::Application).as_secs_f64() / t.as_secs_f64())
+    }
+
+    fn unit(&self) -> &'static str {
+        "x"
+    }
+}
+
+/// I/O efficiency: bytes the application required divided by bytes the file
+/// system actually moved, in (0, 1]. 1.0 means no wasted movement; data
+/// sieving with wide holes drives this toward 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoEfficiency;
+
+impl Metric for IoEfficiency {
+    fn name(&self) -> &'static str {
+        "IOEff"
+    }
+
+    fn expected_direction(&self) -> Direction {
+        Direction::Negative
+    }
+
+    fn compute(&self, trace: &Trace) -> Option<f64> {
+        let required = trace.bytes(Layer::Application);
+        let moved = if trace.op_count(Layer::FileSystem) > 0 {
+            trace.bytes(Layer::FileSystem)
+        } else {
+            required
+        };
+        if moved == 0 {
+            return None;
+        }
+        Some(required as f64 / moved as f64)
+    }
+
+    fn unit(&self) -> &'static str {
+        "ratio"
+    }
+}
+
+/// Maximum number of simultaneously in-flight application requests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxQueueDepth;
+
+impl Metric for MaxQueueDepth {
+    fn name(&self) -> &'static str {
+        "MaxQD"
+    }
+
+    fn expected_direction(&self) -> Direction {
+        Direction::Negative
+    }
+
+    fn compute(&self, trace: &Trace) -> Option<f64> {
+        if trace.op_count(Layer::Application) == 0 {
+            return None;
+        }
+        Some(f64::from(trace.concurrency(Layer::Application).max_depth))
+    }
+
+    fn unit(&self) -> &'static str {
+        "reqs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FileId, IoOp, IoRecord, ProcessId};
+    use crate::time::Nanos;
+
+    fn read(pid: u32, s_ms: u64, e_ms: u64) -> IoRecord {
+        IoRecord::app_read(
+            ProcessId(pid),
+            FileId(0),
+            0,
+            1 << 20,
+            Nanos::from_millis(s_ms),
+            Nanos::from_millis(e_ms),
+        )
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        // Durations 1..=10 ms.
+        let t = Trace::from_records((0..10).map(|i| read(0, i * 20, i * 20 + i + 1)).collect());
+        let p50 = LatencyPercentile::P50.compute(&t).unwrap();
+        assert!((p50 - 0.005).abs() < 1e-9);
+        let p99 = LatencyPercentile::P99.compute(&t).unwrap();
+        assert!((p99 - 0.010).abs() < 1e-9);
+        assert!(LatencyPercentile::P50.compute(&Trace::new()).is_none());
+    }
+
+    #[test]
+    fn effective_parallelism_sequential_vs_concurrent() {
+        let seq = Trace::from_records(vec![read(0, 0, 10), read(0, 10, 20)]);
+        assert!((EffectiveParallelism.compute(&seq).unwrap() - 1.0).abs() < 1e-9);
+        let conc = Trace::from_records(vec![read(0, 0, 10), read(1, 0, 10), read(2, 0, 10)]);
+        assert!((EffectiveParallelism.compute(&conc).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_efficiency_tracks_waste() {
+        let mut t = Trace::from_records(vec![read(0, 0, 10)]);
+        assert!((IoEfficiency.compute(&t).unwrap() - 1.0).abs() < 1e-12);
+        t.push(IoRecord::new(
+            ProcessId(0),
+            IoOp::Read,
+            FileId(0),
+            0,
+            4 << 20,
+            Nanos::ZERO,
+            Nanos::from_millis(10),
+            Layer::FileSystem,
+        ));
+        assert!((IoEfficiency.compute(&t).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_queue_depth() {
+        let t = Trace::from_records(vec![read(0, 0, 10), read(1, 5, 15), read(2, 6, 8)]);
+        assert_eq!(MaxQueueDepth.compute(&t), Some(3.0));
+        assert!(MaxQueueDepth.compute(&Trace::new()).is_none());
+    }
+}

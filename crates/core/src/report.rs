@@ -1,0 +1,336 @@
+//! Human-readable summaries of traces and correlation sweeps.
+
+use crate::correlation::CcOutcome;
+use crate::metrics::extended::{EffectiveParallelism, IoEfficiency, LatencyPercentile, MaxQueueDepth};
+use crate::metrics::{paper_metrics, Metric};
+use crate::record::Layer;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Every metric the toolkit computes for one trace, in one struct.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Blocks per second (the paper's metric).
+    pub bps: Option<f64>,
+    /// Operations per second.
+    pub iops: Option<f64>,
+    /// File-system bandwidth, MB/s.
+    pub bandwidth_mbs: Option<f64>,
+    /// Average response time, seconds.
+    pub arpt_s: Option<f64>,
+    /// Median response time, seconds.
+    pub p50_s: Option<f64>,
+    /// 99th-percentile response time, seconds.
+    pub p99_s: Option<f64>,
+    /// Summed ÷ overlapped I/O time.
+    pub effective_parallelism: Option<f64>,
+    /// Required ÷ moved bytes.
+    pub io_efficiency: Option<f64>,
+    /// Maximum in-flight application requests.
+    pub max_queue_depth: Option<f64>,
+    /// Application records.
+    pub app_ops: u64,
+    /// Application bytes requested.
+    pub app_bytes: u64,
+    /// Application blocks requested (the `B` of equation (1)).
+    pub app_blocks: u64,
+    /// Bytes moved at the FS layer (0 when not instrumented).
+    pub fs_bytes: u64,
+    /// Overlapped application I/O time, seconds (the `T` of equation (1)).
+    pub io_time_s: f64,
+    /// Application execution time, seconds.
+    pub exec_time_s: f64,
+}
+
+impl MetricsSummary {
+    /// Compute all metrics from a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        use crate::metrics::{Arpt, Bandwidth, Bps, Iops};
+        MetricsSummary {
+            bps: Bps.compute(trace),
+            iops: Iops.compute(trace),
+            bandwidth_mbs: Bandwidth.compute(trace),
+            arpt_s: Arpt.compute(trace),
+            p50_s: LatencyPercentile::P50.compute(trace),
+            p99_s: LatencyPercentile::P99.compute(trace),
+            effective_parallelism: EffectiveParallelism.compute(trace),
+            io_efficiency: IoEfficiency.compute(trace),
+            max_queue_depth: MaxQueueDepth.compute(trace),
+            app_ops: trace.op_count(Layer::Application),
+            app_bytes: trace.bytes(Layer::Application),
+            app_blocks: trace.blocks(Layer::Application),
+            fs_bytes: trace.bytes(Layer::FileSystem),
+            io_time_s: trace.overlapped_io_time(Layer::Application).as_secs_f64(),
+            exec_time_s: trace.execution_time().as_secs_f64(),
+        }
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.abs() >= 1000.0 => format!("{x:.1}"),
+        Some(x) if x.abs() >= 1.0 => format!("{x:.3}"),
+        Some(x) => format!("{x:.6}"),
+        None => "n/a".to_string(),
+    }
+}
+
+impl fmt::Display for MetricsSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  BPS        : {} blocks/s", fmt_opt(self.bps))?;
+        writeln!(f, "  IOPS       : {} ops/s", fmt_opt(self.iops))?;
+        writeln!(f, "  Bandwidth  : {} MB/s", fmt_opt(self.bandwidth_mbs))?;
+        writeln!(f, "  ARPT       : {} s", fmt_opt(self.arpt_s))?;
+        writeln!(f, "  P50 / P99  : {} / {} s", fmt_opt(self.p50_s), fmt_opt(self.p99_s))?;
+        writeln!(
+            f,
+            "  EffPar     : {}   IOEff: {}   MaxQD: {}",
+            fmt_opt(self.effective_parallelism),
+            fmt_opt(self.io_efficiency),
+            fmt_opt(self.max_queue_depth)
+        )?;
+        writeln!(
+            f,
+            "  app ops/bytes/blocks: {} / {} / {}",
+            self.app_ops, self.app_bytes, self.app_blocks
+        )?;
+        writeln!(f, "  fs bytes moved      : {}", self.fs_bytes)?;
+        writeln!(
+            f,
+            "  I/O time {:.6} s   exec time {:.6} s",
+            self.io_time_s, self.exec_time_s
+        )
+    }
+}
+
+/// Per-process view of a trace: each process's own ops, bytes, summed and
+/// overlapped I/O time — the pre-gather state of the paper's Step 1, and
+/// the first place to look when one rank is the straggler.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProcessBreakdown {
+    /// The process.
+    pub pid: crate::record::ProcessId,
+    /// Application ops issued.
+    pub ops: u64,
+    /// Bytes required.
+    pub bytes: u64,
+    /// Mean response time, seconds.
+    pub arpt_s: f64,
+    /// This process's own overlapped I/O time, seconds.
+    pub io_time_s: f64,
+    /// This process's own BPS over its own I/O time.
+    pub bps: Option<f64>,
+}
+
+/// Break a trace down by process at the application layer, sorted by pid.
+pub fn per_process(trace: &Trace) -> Vec<ProcessBreakdown> {
+    trace
+        .pids(Layer::Application)
+        .into_iter()
+        .map(|pid| {
+            let records: Vec<_> = trace.process(Layer::Application, pid).collect();
+            let ops = records.len() as u64;
+            let bytes = records.iter().map(|r| r.bytes).sum();
+            let summed: f64 = records
+                .iter()
+                .map(|r| r.duration().as_secs_f64())
+                .sum();
+            let io_time = crate::interval::union_time(records.iter().map(|r| r.interval()));
+            let blocks: u64 = records.iter().map(|r| r.blocks()).sum();
+            let io_time_s = io_time.as_secs_f64();
+            ProcessBreakdown {
+                pid,
+                ops,
+                bytes,
+                arpt_s: if ops > 0 { summed / ops as f64 } else { 0.0 },
+                io_time_s,
+                bps: (io_time_s > 0.0).then(|| blocks as f64 / io_time_s),
+            }
+        })
+        .collect()
+}
+
+/// One row of a paper-style CC figure: a metric and its normalized CC value.
+#[derive(Debug, Clone, Serialize)]
+pub struct CcRow {
+    /// Metric name ("IOPS", "BW", "ARPT", "BPS").
+    pub metric: &'static str,
+    /// The correlation outcome, or `None` when the metric was undefined on
+    /// some sweep point.
+    pub outcome: Option<CcOutcome>,
+}
+
+/// A full CC report: the four paper metrics scored against execution times
+/// across a sweep of I/O access cases — one of these per bar-chart figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct CcReport {
+    /// Label of the sweep ("Fig. 4: various storage devices", ...).
+    pub label: String,
+    /// Per-metric rows in figure order.
+    pub rows: Vec<CcRow>,
+}
+
+impl CcReport {
+    /// Score the four paper metrics over per-case traces.
+    ///
+    /// `cases` holds the trace of each I/O access case in the sweep; the
+    /// execution time of each case comes from [`Trace::execution_time`].
+    pub fn from_cases(label: impl Into<String>, cases: &[Trace]) -> CcReport {
+        let exec: Vec<f64> = cases.iter().map(|t| t.execution_time().as_secs_f64()).collect();
+        let rows = paper_metrics()
+            .iter()
+            .map(|m| {
+                let values: Option<Vec<f64>> = cases.iter().map(|t| m.compute(t)).collect();
+                let outcome = values.and_then(|v| {
+                    crate::correlation::normalized_cc(&v, &exec, m.expected_direction()).ok()
+                });
+                CcRow {
+                    metric: m.name(),
+                    outcome,
+                }
+            })
+            .collect();
+        CcReport {
+            label: label.into(),
+            rows,
+        }
+    }
+
+    /// The normalized CC of a named metric, if defined.
+    pub fn normalized(&self, metric: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.metric == metric)
+            .and_then(|r| r.outcome.map(|o| o.normalized))
+    }
+}
+
+impl fmt::Display for CcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.label)?;
+        writeln!(f, "  metric   norm.CC   raw.CC   direction")?;
+        for row in &self.rows {
+            match row.outcome {
+                Some(o) => writeln!(
+                    f,
+                    "  {:<7} {:>8.3} {:>8.3}   {}",
+                    row.metric,
+                    o.normalized,
+                    o.raw,
+                    if o.direction_correct { "correct" } else { "WRONG" }
+                )?,
+                None => writeln!(f, "  {:<7}      n/a      n/a   -", row.metric)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FileId, IoRecord, ProcessId};
+    use crate::time::{Dur, Nanos};
+
+    /// A family of traces where larger requests finish the same total data
+    /// faster: IOPS should come out direction-wrong, BPS direction-right.
+    fn size_sweep() -> Vec<Trace> {
+        let total_bytes: u64 = 1 << 24; // 16 MiB
+        [4u64 << 10, 64 << 10, 1 << 20]
+            .iter()
+            .map(|&record_size| {
+                let n = total_bytes / record_size;
+                // Per-op cost: 100 us fixed + 10 ns/byte → larger records
+                // are far more efficient.
+                let per_op = Dur::from_micros(100) + Dur(10 * record_size);
+                let mut tr = Trace::new();
+                let mut now = Nanos::ZERO;
+                for i in 0..n {
+                    let end = now + per_op;
+                    tr.push(IoRecord::app_read(
+                        ProcessId(0),
+                        FileId(0),
+                        i * record_size,
+                        record_size,
+                        now,
+                        end,
+                    ));
+                    now = end;
+                }
+                tr.set_execution_time(now - Nanos::ZERO);
+                tr
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cc_report_flags_iops_in_size_sweep() {
+        let report = CcReport::from_cases("size sweep", &size_sweep());
+        // BPS correct and strong.
+        assert!(report.normalized("BPS").unwrap() > 0.9);
+        // IOPS misleads: higher IOPS (small records) went with *longer*
+        // execution, so normalized CC is negative.
+        assert!(report.normalized("IOPS").unwrap() < 0.0);
+        let shown = format!("{report}");
+        assert!(shown.contains("WRONG"));
+        assert!(shown.contains("BPS"));
+    }
+
+    #[test]
+    fn summary_populates_counts() {
+        let tr = &size_sweep()[0];
+        let s = MetricsSummary::from_trace(tr);
+        assert_eq!(s.app_bytes, 1 << 24);
+        assert!(s.bps.unwrap() > 0.0);
+        assert!(s.exec_time_s > 0.0);
+        assert!((s.effective_parallelism.unwrap() - 1.0).abs() < 1e-9);
+        let shown = format!("{s}");
+        assert!(shown.contains("BPS"));
+        assert!(shown.contains("exec time"));
+    }
+
+    #[test]
+    fn per_process_breakdown_splits_and_sums() {
+        use crate::record::ProcessId;
+        let mut tr = Trace::new();
+        // pid 0: two sequential 1 MiB reads; pid 1: one concurrent read.
+        tr.push(IoRecord::app_read(
+            ProcessId(0), FileId(0), 0, 1 << 20,
+            Nanos::ZERO, Nanos::from_millis(10),
+        ));
+        tr.push(IoRecord::app_read(
+            ProcessId(0), FileId(0), 1 << 20, 1 << 20,
+            Nanos::from_millis(10), Nanos::from_millis(20),
+        ));
+        tr.push(IoRecord::app_read(
+            ProcessId(1), FileId(0), 2 << 20, 1 << 20,
+            Nanos::ZERO, Nanos::from_millis(5),
+        ));
+        let rows = per_process(&tr);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].pid, ProcessId(0));
+        assert_eq!(rows[0].ops, 2);
+        assert_eq!(rows[0].bytes, 2 << 20);
+        assert!((rows[0].io_time_s - 0.020).abs() < 1e-9);
+        assert!((rows[0].bps.unwrap() - 4096.0 / 0.020).abs() < 1e-6);
+        assert_eq!(rows[1].ops, 1);
+        assert!((rows[1].arpt_s - 0.005).abs() < 1e-12);
+        // Ops sum to the trace's ops.
+        let total: u64 = rows.iter().map(|r| r.ops).sum();
+        assert_eq!(total, tr.op_count(Layer::Application));
+    }
+
+    #[test]
+    fn per_process_empty_trace() {
+        assert!(per_process(&Trace::new()).is_empty());
+    }
+
+    #[test]
+    fn summary_on_empty_trace_is_all_none() {
+        let s = MetricsSummary::from_trace(&Trace::new());
+        assert!(s.bps.is_none());
+        assert!(s.iops.is_none());
+        assert_eq!(s.app_ops, 0);
+    }
+}

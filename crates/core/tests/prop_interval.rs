@@ -1,0 +1,128 @@
+//! Property tests for the overlapped-time algebra — the heart of BPS.
+
+use bps_core::interval::{
+    paper_union_time, union_time, ConcurrencyProfile, Interval, IntervalSet,
+};
+use bps_core::time::{Dur, Nanos};
+use proptest::prelude::*;
+
+/// Arbitrary interval with bounded coordinates so sums never overflow.
+fn interval() -> impl Strategy<Value = Interval> {
+    (0u64..1_000_000, 0u64..100_000)
+        .prop_map(|(start, len)| Interval::new(Nanos(start), Nanos(start + len)))
+}
+
+fn intervals(max: usize) -> impl Strategy<Value = Vec<Interval>> {
+    proptest::collection::vec(interval(), 0..max)
+}
+
+proptest! {
+    /// The union measure never exceeds the sum of the parts and never
+    /// undercuts the longest part.
+    #[test]
+    fn union_bounded(ivs in intervals(64)) {
+        let t = union_time(ivs.iter().copied());
+        let sum = ivs.iter().fold(Dur::ZERO, |acc, iv| acc + iv.duration());
+        let max = ivs.iter().map(|iv| iv.duration()).max().unwrap_or(Dur::ZERO);
+        prop_assert!(t <= sum);
+        prop_assert!(t >= max);
+    }
+
+    /// Input order is irrelevant.
+    #[test]
+    fn union_order_invariant(mut ivs in intervals(32), seed in 0u64..1000) {
+        let a = union_time(ivs.iter().copied());
+        // Cheap deterministic shuffle.
+        let n = ivs.len().max(1);
+        for i in 0..ivs.len() {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            ivs.swap(i, j);
+        }
+        let b = union_time(ivs.iter().copied());
+        prop_assert_eq!(a, b);
+    }
+
+    /// The paper's Figure 3 algorithm agrees with the independent sweep on
+    /// every input.
+    #[test]
+    fn paper_algorithm_equivalent(ivs in intervals(64)) {
+        prop_assert_eq!(paper_union_time(&ivs), union_time(ivs.iter().copied()));
+    }
+
+    /// Union equals the sum of parts iff no two intervals overlap (merged
+    /// set has as many spans as non-degenerate inputs).
+    #[test]
+    fn union_equals_sum_iff_disjoint(ivs in intervals(24)) {
+        let t = union_time(ivs.iter().copied());
+        let sum = ivs.iter().fold(Dur::ZERO, |acc, iv| acc + iv.duration());
+        let set = IntervalSet::from_unsorted(ivs.iter().copied());
+        if t == sum {
+            // Any strict overlap would have shrunk the union. Touching
+            // intervals merge spans but do not shrink the measure.
+            prop_assert!(set.total() == sum);
+        } else {
+            prop_assert!(t < sum);
+        }
+    }
+
+    /// Incremental insertion builds the same set as batch construction.
+    #[test]
+    fn incremental_matches_batch(ivs in intervals(32)) {
+        let batch = IntervalSet::from_unsorted(ivs.iter().copied());
+        let mut inc = IntervalSet::new();
+        for iv in &ivs {
+            inc.insert(*iv);
+        }
+        prop_assert_eq!(batch, inc);
+    }
+
+    /// Inserting an interval already covered by the set changes nothing.
+    #[test]
+    fn insert_idempotent_on_covered(ivs in intervals(16)) {
+        let mut set = IntervalSet::from_unsorted(ivs.iter().copied());
+        let before = set.clone();
+        for iv in &ivs {
+            set.insert(*iv);
+        }
+        prop_assert_eq!(before, set);
+    }
+
+    /// Busy + idle = span, and gaps are inside the span.
+    #[test]
+    fn busy_plus_idle_is_span(ivs in intervals(32)) {
+        let set = IntervalSet::from_unsorted(ivs.iter().copied());
+        if let Some(span) = set.span() {
+            prop_assert_eq!(set.total() + set.idle_time(), span.duration());
+            for gap in set.gaps() {
+                prop_assert!(gap.start >= span.start && gap.end <= span.end);
+                prop_assert!(gap.duration() > Dur::ZERO);
+            }
+        }
+    }
+
+    /// The concurrency profile's busy depth is consistent with the union:
+    /// mean depth × busy time = summed durations.
+    #[test]
+    fn depth_times_busy_equals_sum(ivs in intervals(32)) {
+        let profile = ConcurrencyProfile::from_intervals(ivs.iter().copied());
+        let busy = union_time(ivs.iter().copied()).as_secs_f64();
+        let sum: f64 = ivs.iter().map(|iv| iv.duration().as_secs_f64()).sum();
+        if busy > 0.0 {
+            let reconstructed = profile.mean_busy_depth * busy;
+            prop_assert!((reconstructed - sum).abs() < 1e-6 * sum.max(1.0),
+                "{reconstructed} vs {sum}");
+        }
+        // Max depth never exceeds the number of intervals.
+        prop_assert!(profile.max_depth as usize <= ivs.len());
+    }
+
+    /// Merging two sets of intervals unions their measures sub-additively.
+    #[test]
+    fn union_subadditive(a in intervals(16), b in intervals(16)) {
+        let ta = union_time(a.iter().copied());
+        let tb = union_time(b.iter().copied());
+        let tab = union_time(a.iter().chain(b.iter()).copied());
+        prop_assert!(tab <= ta + tb);
+        prop_assert!(tab >= ta.max(tb));
+    }
+}

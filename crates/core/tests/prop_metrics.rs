@@ -1,0 +1,159 @@
+//! Property tests for the metrics and correlation machinery.
+
+use bps_core::correlation::{kendall_tau, normalized_cc, pearson, spearman};
+use bps_core::metrics::{Arpt, Bandwidth, Bps, Direction, Iops, Metric};
+use bps_core::record::{FileId, IoRecord, ProcessId};
+use bps_core::time::Nanos;
+use bps_core::trace::Trace;
+use proptest::prelude::*;
+
+/// A random application-layer trace: per process, a chain of reads with
+/// random sizes, durations, and idle gaps.
+fn app_trace() -> impl Strategy<Value = Trace> {
+    let per_process = proptest::collection::vec((1u64..1_000_000, 1u64..50_000, 0u64..50_000), 1..40);
+    proptest::collection::vec(per_process, 1..5).prop_map(|procs| {
+        let mut trace = Trace::new();
+        for (pid, ops) in procs.into_iter().enumerate() {
+            let mut now = 0u64;
+            let mut offset = 0u64;
+            for (bytes, dur_us, gap_us) in ops {
+                now += gap_us * 1_000;
+                let start = Nanos(now);
+                now += dur_us * 1_000;
+                trace.push(IoRecord::app_read(
+                    ProcessId(pid as u32),
+                    FileId(0),
+                    offset,
+                    bytes,
+                    start,
+                    Nanos(now),
+                ));
+                offset += bytes;
+            }
+        }
+        trace
+    })
+}
+
+fn series(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, len..=len)
+}
+
+proptest! {
+    /// BPS, IOPS are finite and positive on any non-degenerate trace, and
+    /// BPS × 512 bytes/block never exceeds the bandwidth implied by summing
+    /// durations (BPS uses union time ≤ ... actually union ≤ sum, so BPS ≥
+    /// blocks/sum). Check the sandwich.
+    #[test]
+    fn bps_sandwiched_by_times(trace in app_trace()) {
+        use bps_core::record::Layer;
+        let t_union = trace.overlapped_io_time(Layer::Application).as_secs_f64();
+        let t_sum = trace.summed_io_time(Layer::Application).as_secs_f64();
+        prop_assume!(t_union > 0.0);
+        let blocks = trace.app_blocks() as f64;
+        let bps = Bps.compute(&trace).unwrap();
+        prop_assert!(bps >= blocks / t_sum - 1e-9);
+        prop_assert!(bps <= blocks / t_union + 1e-9);
+        prop_assert!((bps - blocks / t_union).abs() < 1e-6 * bps.max(1.0));
+    }
+
+    /// Without file-system-layer records, bandwidth is exactly BPS scaled
+    /// by the block size — they only diverge when optimizations move extra
+    /// data.
+    #[test]
+    fn bw_equals_bps_without_fs_layer(trace in app_trace()) {
+        prop_assume!(Bps.compute(&trace).is_some());
+        let bps = Bps.compute(&trace).unwrap();
+        let bw = Bandwidth.compute(&trace).unwrap();
+        use bps_core::record::Layer;
+        let bytes = trace.bytes(Layer::Application) as f64;
+        let blocks_bytes = trace.app_blocks() as f64 * 512.0;
+        // BW uses raw bytes, BPS block-rounds; they agree within rounding.
+        let ratio = (bw * 1e6) / (bps * 512.0);
+        let rounding = bytes / blocks_bytes;
+        prop_assert!((ratio - rounding).abs() < 1e-6, "{ratio} vs {rounding}");
+    }
+
+    /// Splitting one request into two back-to-back halves preserves BPS
+    /// (block rounding aside) but doubles the op count in IOPS.
+    #[test]
+    fn split_preserves_bps_not_iops(bytes in 1024u64..1_000_000, dur_us in 2u64..10_000) {
+        // Whole-block sizes so block rounding does not interfere.
+        let bytes = bytes - bytes % 1024;
+        let merged = Trace::from_records(vec![IoRecord::app_read(
+            ProcessId(0), FileId(0), 0, bytes, Nanos(0), Nanos(dur_us * 1_000),
+        )]);
+        let half = dur_us / 2;
+        let split = Trace::from_records(vec![
+            IoRecord::app_read(ProcessId(0), FileId(0), 0, bytes / 2, Nanos(0), Nanos(half * 1_000)),
+            IoRecord::app_read(
+                ProcessId(0), FileId(0), bytes / 2, bytes / 2,
+                Nanos(half * 1_000), Nanos(2 * half * 1_000),
+            ),
+        ]);
+        let bps_merged = Bps.compute(&merged).unwrap();
+        let bps_split = Bps.compute(&split).unwrap();
+        // Durations were rounded to half; compare with tolerance.
+        let tol = 2.0 / dur_us as f64 + 1e-9;
+        prop_assert!((bps_merged / bps_split - 1.0).abs() <= 2.0 * tol,
+            "{bps_merged} vs {bps_split}");
+        let iops_merged = Iops.compute(&merged).unwrap();
+        let iops_split = Iops.compute(&split).unwrap();
+        prop_assert!(iops_split > 1.5 * iops_merged);
+    }
+
+    /// ARPT is the mean of durations: between min and max.
+    #[test]
+    fn arpt_between_min_and_max(trace in app_trace()) {
+        prop_assume!(!trace.is_empty());
+        let arpt = Arpt.compute(&trace).unwrap();
+        let durs: Vec<f64> = trace.records().iter().map(|r| r.duration().as_secs_f64()).collect();
+        let min = durs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = durs.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(arpt >= min - 1e-12 && arpt <= max + 1e-12);
+    }
+
+    /// Pearson is bounded, symmetric, and scale/shift-invariant.
+    #[test]
+    fn pearson_properties(x in series(12), y in series(12), a in 0.1f64..100.0, b in -100.0f64..100.0) {
+        let p = pearson(&x, &y);
+        prop_assume!(p.is_ok());
+        let p = p.unwrap();
+        prop_assert!((-1.0..=1.0).contains(&p));
+        prop_assert!((p - pearson(&y, &x).unwrap()).abs() < 1e-9);
+        // Affine transform with positive slope preserves CC.
+        let x2: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        if let Ok(p2) = pearson(&x2, &y) {
+            prop_assert!((p - p2).abs() < 1e-6, "{p} vs {p2}");
+        }
+        // Negative slope flips the sign.
+        let x3: Vec<f64> = x.iter().map(|v| -a * v + b).collect();
+        if let Ok(p3) = pearson(&x3, &y) {
+            prop_assert!((p + p3).abs() < 1e-6);
+        }
+    }
+
+    /// Spearman and Kendall share Pearson's sign conventions on monotone
+    /// data and are bounded.
+    #[test]
+    fn rank_correlations_bounded(x in series(10), y in series(10)) {
+        if let Ok(s) = spearman(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&s));
+        }
+        if let Ok(k) = kendall_tau(&x, &y) {
+            prop_assert!((-1.0..=1.0).contains(&k));
+        }
+    }
+
+    /// Normalization: |normalized| == |raw|, and the sign encodes direction
+    /// agreement.
+    #[test]
+    fn normalization_preserves_magnitude(x in series(8), y in series(8)) {
+        for dir in [Direction::Negative, Direction::Positive] {
+            if let Ok(out) = normalized_cc(&x, &y, dir) {
+                prop_assert!((out.normalized.abs() - out.raw.abs()).abs() < 1e-12);
+                prop_assert_eq!(out.direction_correct, out.normalized >= 0.0);
+            }
+        }
+    }
+}

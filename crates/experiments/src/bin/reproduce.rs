@@ -1,0 +1,144 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce all            # everything, quick scale (default)
+//! reproduce fig12          # one experiment
+//! reproduce fig5 --tiny    # test scale
+//! reproduce all --paper    # the paper's full data volumes (slow)
+//! ```
+
+use bps_experiments::figures::{
+    extensions, overhead, writes, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
+    fig12, summary, tables,
+};
+use bps_experiments::export;
+use bps_experiments::scale::Scale;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce <all|table1|table2|fig1..fig12|summary|extensions|overhead|writes> [--quick|--tiny|--paper] [--csv <dir>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = Scale::quick();
+    let mut targets: Vec<String> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut expect_csv_dir = false;
+    for a in &args {
+        if expect_csv_dir {
+            csv_dir = Some(PathBuf::from(a));
+            expect_csv_dir = false;
+            continue;
+        }
+        match a.as_str() {
+            "--paper" => scale = Scale::paper(),
+            "--quick" => scale = Scale::quick(),
+            "--tiny" => scale = Scale::tiny(),
+            "--csv" => expect_csv_dir = true,
+            other if other.starts_with("--") => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if expect_csv_dir {
+        usage();
+    }
+    if targets.is_empty() {
+        usage();
+    }
+
+    let all = [
+        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "fig12", "summary", "extensions", "overhead", "writes",
+    ];
+    let expanded: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        all.to_vec()
+    } else {
+        targets.iter().map(|s| s.as_str()).collect()
+    };
+
+    let export_cc = |name: &str, fig: &bps_experiments::figures::common::CcFigure| {
+        if let Some(dir) = &csv_dir {
+            let path = export::write_csv(dir, name, &export::cc_figure_csv(fig))
+                .expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    };
+    let export_detail = |name: &str, s: &bps_experiments::figures::common::DetailSeries| {
+        if let Some(dir) = &csv_dir {
+            let path = export::write_csv(dir, name, &export::detail_series_csv(s))
+                .expect("write csv");
+            eprintln!("wrote {}", path.display());
+        }
+    };
+
+    for target in expanded {
+        match target {
+            "table1" => print!("{}", tables::table1()),
+            "table2" => print!("{}", tables::table2()),
+            "fig1" => print!("{}", fig01::report()),
+            "fig2" => print!("{}", fig02::report()),
+            "fig3" => print!("{}", fig03::report()),
+            "fig4" => {
+                let fig = fig04::run(&scale);
+                export_cc("fig04", &fig);
+                print!("{fig}");
+            }
+            "fig5" => {
+                let fig = fig05::run(&scale);
+                export_cc("fig05", &fig);
+                print!("{fig}");
+            }
+            "fig6" => {
+                let fig = fig06::run(&scale);
+                export_cc("fig06", &fig);
+                print!("{fig}");
+            }
+            "fig7" => {
+                let s = fig07::run(&scale);
+                export_detail("fig07", &s);
+                print!("{s}");
+            }
+            "fig8" => {
+                let s = fig08::run(&scale);
+                export_detail("fig08", &s);
+                print!("{s}");
+            }
+            "fig9" => {
+                let fig = fig09::run(&scale);
+                export_cc("fig09", &fig);
+                print!("{fig}");
+            }
+            "fig10" => {
+                let s = fig10::run(&scale);
+                export_detail("fig10", &s);
+                print!("{s}");
+            }
+            "fig11" => {
+                let fig = fig11::run(&scale);
+                export_cc("fig11", &fig);
+                print!("{fig}");
+            }
+            "fig12" => {
+                let fig = fig12::run(&scale);
+                export_cc("fig12", &fig);
+                print!("{fig}");
+            }
+            "summary" => print!("{}", summary::report(&scale)),
+            "extensions" => print!("{}", extensions::report(&scale)),
+            "overhead" => print!("{}", overhead::report()),
+            "writes" => print!("{}", writes::report(&scale)),
+            other => {
+                eprintln!("unknown target: {other}");
+                usage();
+            }
+        }
+        println!();
+    }
+}

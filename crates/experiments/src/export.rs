@@ -1,0 +1,106 @@
+//! Machine-readable figure exports.
+//!
+//! `reproduce --csv <dir>` writes each figure's sweep as CSV next to the
+//! printed tables, so the bar charts and detail plots can be regenerated
+//! with any plotting tool.
+
+use crate::figures::common::{CcFigure, DetailSeries};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// CSV of a CC figure: one row per case, then the normalized CC rows.
+pub fn cc_figure_csv(fig: &CcFigure) -> String {
+    let mut out = String::new();
+    writeln!(out, "case,iops,bw_mbs,arpt_s,bps,exec_s").unwrap();
+    for c in &fig.cases {
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            c.label, c.iops, c.bw, c.arpt, c.bps, c.exec_s
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+    writeln!(out, "metric,normalized_cc,raw_cc,direction_correct").unwrap();
+    for (name, outcome) in &fig.rows {
+        match outcome {
+            Some(o) => writeln!(
+                out,
+                "{},{},{},{}",
+                name, o.normalized, o.raw, o.direction_correct
+            )
+            .unwrap(),
+            None => writeln!(out, "{name},,,").unwrap(),
+        }
+    }
+    out
+}
+
+/// CSV of a detail series.
+pub fn detail_series_csv(series: &DetailSeries) -> String {
+    let mut out = String::new();
+    writeln!(out, "case,{},exec_s", series.metric.to_lowercase()).unwrap();
+    for (label, value, exec) in &series.points {
+        writeln!(out, "{label},{value},{exec}").unwrap();
+    }
+    out
+}
+
+/// Write a figure's CSV into `dir/<name>.csv`.
+pub fn write_csv(dir: &Path, name: &str, csv: &str) -> io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, csv)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::CasePoint;
+
+    fn fig() -> CcFigure {
+        CcFigure::from_points(
+            "test",
+            (1..=4u32)
+                .map(|k| CasePoint {
+                    label: format!("c{k}"),
+                    iops: 100.0 / k as f64,
+                    bw: 10.0 / k as f64,
+                    arpt: 0.001 * k as f64,
+                    bps: 1000.0 / k as f64,
+                    exec_s: k as f64,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn cc_csv_has_cases_and_rows() {
+        let csv = cc_figure_csv(&fig());
+        assert!(csv.starts_with("case,iops,bw_mbs,arpt_s,bps,exec_s"));
+        assert_eq!(csv.matches('\n').count(), 1 + 4 + 1 + 1 + 4);
+        assert!(csv.contains("c3,"));
+        assert!(csv.contains("BPS,"));
+        assert!(csv.contains(",true"));
+    }
+
+    #[test]
+    fn detail_csv_shape() {
+        let f = fig();
+        let s = DetailSeries::from_points("d", "IOPS", &f.cases);
+        let csv = detail_series_csv(&s);
+        assert!(csv.starts_with("case,iops,exec_s"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    fn write_roundtrip() {
+        let dir = std::env::temp_dir().join("bps_export_test");
+        let path = write_csv(&dir, "fig_test", &cc_figure_csv(&fig())).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("exec_s"));
+        std::fs::remove_file(path).ok();
+    }
+}

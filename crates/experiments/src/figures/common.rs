@@ -1,0 +1,212 @@
+//! Shared figure plumbing: CC bar charts and detail series.
+
+use crate::runner::CasePoint;
+use bps_core::correlation::{normalized_cc, CcOutcome};
+use bps_core::metrics::paper_metrics;
+use serde::Serialize;
+use std::fmt;
+
+/// A reproduced CC bar chart (Figures 4–6, 9, 11, 12): the four paper
+/// metrics scored against execution time over the sweep's cases.
+#[derive(Debug, Clone, Serialize)]
+pub struct CcFigure {
+    /// Figure label.
+    pub label: String,
+    /// The averaged sweep points.
+    pub cases: Vec<CasePoint>,
+    /// (metric name, correlation outcome) in figure order.
+    pub rows: Vec<(String, Option<CcOutcome>)>,
+}
+
+impl CcFigure {
+    /// Score the four metrics over averaged case points.
+    pub fn from_points(label: impl Into<String>, cases: Vec<CasePoint>) -> CcFigure {
+        let exec: Vec<f64> = cases.iter().map(|c| c.exec_s).collect();
+        let rows = paper_metrics()
+            .iter()
+            .map(|m| {
+                let values: Vec<f64> = cases.iter().map(|c| c.metric(m.name())).collect();
+                let outcome = if values.iter().all(|v| v.is_finite()) {
+                    normalized_cc(&values, &exec, m.expected_direction()).ok()
+                } else {
+                    None
+                };
+                (m.name().to_string(), outcome)
+            })
+            .collect();
+        CcFigure {
+            label: label.into(),
+            cases,
+            rows,
+        }
+    }
+
+    /// Normalized CC of a metric, if defined.
+    pub fn normalized(&self, metric: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(name, _)| name == metric)
+            .and_then(|(_, o)| o.map(|o| o.normalized))
+    }
+
+    /// True when the metric's observed direction matches Table 1.
+    pub fn direction_correct(&self, metric: &str) -> Option<bool> {
+        self.rows
+            .iter()
+            .find(|(name, _)| name == metric)
+            .and_then(|(_, o)| o.map(|o| o.direction_correct))
+    }
+}
+
+impl fmt::Display for CcFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.label)?;
+        writeln!(
+            f,
+            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "case", "IOPS", "BW(MB/s)", "ARPT(s)", "BPS", "exec(s)"
+        )?;
+        for c in &self.cases {
+            writeln!(
+                f,
+                "{:<14} {:>12.1} {:>12.2} {:>12.6} {:>12.1} {:>10.3}",
+                c.label, c.iops, c.bw, c.arpt, c.bps, c.exec_s
+            )?;
+        }
+        writeln!(f, "normalized CC vs execution time:")?;
+        for (name, outcome) in &self.rows {
+            match outcome {
+                Some(o) => writeln!(
+                    f,
+                    "  {:<5} {:>6.2}   ({})",
+                    name,
+                    o.normalized,
+                    if o.direction_correct {
+                        "correct direction"
+                    } else {
+                        "WRONG direction"
+                    }
+                )?,
+                None => writeln!(f, "  {name:<5}    n/a")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A detail figure (Figures 7, 8, 10): one metric plotted against execution
+/// time over the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct DetailSeries {
+    /// Figure label.
+    pub label: String,
+    /// Name of the highlighted metric.
+    pub metric: String,
+    /// (case label, metric value, execution seconds).
+    pub points: Vec<(String, f64, f64)>,
+}
+
+impl DetailSeries {
+    /// Extract a metric's series from averaged case points.
+    pub fn from_points(
+        label: impl Into<String>,
+        metric: &'static str,
+        cases: &[CasePoint],
+    ) -> DetailSeries {
+        DetailSeries {
+            label: label.into(),
+            metric: metric.to_string(),
+            points: cases
+                .iter()
+                .map(|c| (c.label.clone(), c.metric(metric), c.exec_s))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for DetailSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.label)?;
+        writeln!(
+            f,
+            "{:<14} {:>14} {:>16}",
+            "case", self.metric, "exec time (s)"
+        )?;
+        for (label, value, exec) in &self.points {
+            writeln!(f, "{label:<14} {value:>14.5} {exec:>16.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(label: &str, iops: f64, bw: f64, arpt: f64, bps: f64, exec_s: f64) -> CasePoint {
+        CasePoint {
+            label: label.into(),
+            iops,
+            bw,
+            arpt,
+            bps,
+            exec_s,
+        }
+    }
+
+    /// Hand-built sweep where all four metrics behave (fixed request size):
+    /// throughputs fall as time rises, latency rises.
+    fn well_behaved() -> Vec<CasePoint> {
+        (1..=5u32)
+            .map(|k| {
+                let t = k as f64;
+                pt(&format!("case{k}"), 100.0 / t, 50.0 / t, 0.001 * t, 6400.0 / t, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_metrics_correct_on_well_behaved_sweep() {
+        let fig = CcFigure::from_points("test", well_behaved());
+        for m in ["IOPS", "BW", "ARPT", "BPS"] {
+            assert_eq!(fig.direction_correct(m), Some(true), "{m}");
+            assert!(fig.normalized(m).unwrap() > 0.9, "{m}");
+        }
+        let shown = format!("{fig}");
+        assert!(shown.contains("correct direction"));
+    }
+
+    #[test]
+    fn misleading_metric_flagged() {
+        // IOPS rises with execution time (the Fig. 5 pathology).
+        let cases: Vec<CasePoint> = (1..=5u32)
+            .map(|k| {
+                let t = k as f64;
+                pt(&format!("c{k}"), 100.0 * t, 50.0 / t, 0.001 * t, 6400.0 / t, t)
+            })
+            .collect();
+        let fig = CcFigure::from_points("test", cases);
+        assert_eq!(fig.direction_correct("IOPS"), Some(false));
+        assert!(fig.normalized("IOPS").unwrap() < 0.0);
+        assert_eq!(fig.direction_correct("BPS"), Some(true));
+        assert!(format!("{fig}").contains("WRONG direction"));
+    }
+
+    #[test]
+    fn detail_series_extracts_metric() {
+        let cases = well_behaved();
+        let s = DetailSeries::from_points("fig", "IOPS", &cases);
+        assert_eq!(s.points.len(), 5);
+        assert_eq!(s.points[0].1, 100.0);
+        assert!(format!("{s}").contains("exec time"));
+    }
+
+    #[test]
+    fn nan_metric_yields_none() {
+        let mut cases = well_behaved();
+        cases[0].bw = f64::NAN;
+        let fig = CcFigure::from_points("test", cases);
+        assert!(fig.normalized("BW").is_none());
+        assert!(fig.normalized("BPS").is_some());
+    }
+}

@@ -1,0 +1,280 @@
+//! Extension experiment (the paper's future work): "we will adopt and
+//! evaluate different I/O optimization mechanisms and their combinations
+//! in terms of overall I/O system performance."
+//!
+//! This module sweeps the optimization space — data sieving × read-ahead
+//! prefetching × disk scheduling — on a mixed workload (a noncontiguous
+//! HPIO phase followed by a sequential IOzone phase) and ranks every
+//! combination by BPS, demonstrating the metric doing the job the paper
+//! built it for.
+
+use crate::scale::Scale;
+use bps_core::metrics::{Bandwidth, Bps, Metric};
+use bps_core::record::FileId;
+use bps_core::time::Dur;
+use bps_core::trace::Trace;
+use bps_fs::cluster::{Cluster, ClusterConfig, DeviceSpec};
+use bps_fs::layout::StripeLayout;
+use bps_fs::pfs::ParallelFs;
+use bps_middleware::prefetch::PrefetchConfig;
+use bps_middleware::process::run_workload;
+use bps_middleware::sieving::SievingConfig;
+use bps_middleware::stack::{FsBackend, IoStack};
+use bps_sim::device::hdd::HddProfile;
+use bps_sim::device::DiskSched;
+use bps_sim::rng::Jitter;
+use bps_workloads::spec::{AppOp, OpStream, Workload};
+use bps_workloads::{hpio::Hpio, iozone::Iozone};
+use std::fmt::Write;
+
+/// One optimization combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Combo {
+    /// Data sieving on noncontiguous reads.
+    pub sieving: bool,
+    /// Sequential read-ahead.
+    pub prefetch: bool,
+    /// Elevator disk scheduling.
+    pub elevator: bool,
+}
+
+impl Combo {
+    /// All eight combinations.
+    pub fn all() -> Vec<Combo> {
+        let mut v = Vec::new();
+        for sieving in [false, true] {
+            for prefetch in [false, true] {
+                for elevator in [false, true] {
+                    v.push(Combo {
+                        sieving,
+                        prefetch,
+                        elevator,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// Short label like "S+P-E-".
+    pub fn label(&self) -> String {
+        format!(
+            "S{}P{}E{}",
+            if self.sieving { "+" } else { "-" },
+            if self.prefetch { "+" } else { "-" },
+            if self.elevator { "+" } else { "-" },
+        )
+    }
+}
+
+/// A mixed workload: one HPIO noncontiguous phase, then one sequential
+/// read phase, per process.
+struct Mixed {
+    hpio: Hpio,
+    seq: Iozone,
+}
+
+impl Workload for Mixed {
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+    fn processes(&self) -> usize {
+        self.hpio.processes()
+    }
+    fn file_sizes(&self) -> Vec<u64> {
+        // File 0: the HPIO file. Files 1..: one sequential file per proc.
+        let mut v = self.hpio.file_sizes();
+        v.extend(self.seq.file_sizes());
+        v
+    }
+    fn stream(&self, pid: usize) -> OpStream {
+        let noncontig = self.hpio.stream(pid);
+        // Shift the sequential phase's file indices past the HPIO file.
+        let seq = self.seq.stream(pid).map(|op| match op {
+            AppOp::Read { file, extent } => AppOp::Read {
+                file: file + 1,
+                extent,
+            },
+            AppOp::Write { file, extent } => AppOp::Write {
+                file: file + 1,
+                extent,
+            },
+            other => other,
+        });
+        Box::new(noncontig.chain(seq))
+    }
+}
+
+/// Result of one combination.
+#[derive(Debug, Clone)]
+pub struct ComboResult {
+    /// The combination.
+    pub combo: Combo,
+    /// Mean execution time, seconds.
+    pub exec_s: f64,
+    /// Mean BPS.
+    pub bps: f64,
+    /// Mean file-system bandwidth, MB/s.
+    pub bw: f64,
+}
+
+fn run_combo(combo: Combo, scale: &Scale, seed: u64) -> Trace {
+    let procs = 2;
+    let workload = Mixed {
+        hpio: Hpio {
+            region_count: scale.fig12_regions / 8,
+            region_size: 256,
+            region_spacing: 1024,
+            regions_per_call: 512,
+            processes: procs,
+            collective: false,
+        },
+        seq: Iozone::throughput_read(procs, scale.fig12_regions * 256, 64 << 10),
+    };
+    let cluster = Cluster::new(&ClusterConfig {
+        servers: 4,
+        clients: procs,
+        device: DeviceSpec::Hdd(HddProfile::sata_7200_250gb()),
+        sched: if combo.elevator {
+            DiskSched::Elevator
+        } else {
+            DiskSched::Fifo
+        },
+        server_cpu: Dur::from_micros(25),
+        jitter: Jitter::DEFAULT,
+        seed,
+        record_device_layer: false,
+    });
+    let mut pfs = ParallelFs::new(4);
+    let files: Vec<FileId> = workload
+        .file_sizes()
+        .iter()
+        .map(|&s| pfs.create(s, StripeLayout::default_over(4)))
+        .collect();
+    let mut stack = IoStack::new(cluster, FsBackend::Parallel(pfs));
+    stack.sieving = if combo.sieving {
+        SievingConfig::romio_default()
+    } else {
+        SievingConfig::disabled()
+    };
+    stack.prefetch = combo.prefetch.then(PrefetchConfig::readahead_128k);
+    let (trace, _) = run_workload(stack, &workload, &files, Dur::from_micros(5));
+    trace
+}
+
+/// Sweep all combinations, averaged over the scale's seeds, sorted by BPS
+/// (best first).
+pub fn sweep(scale: &Scale) -> Vec<ComboResult> {
+    let seeds = scale.seeds();
+    let mut results: Vec<ComboResult> = Combo::all()
+        .into_iter()
+        .map(|combo| {
+            let mut exec = 0.0;
+            let mut bps = 0.0;
+            let mut bw = 0.0;
+            for &seed in &seeds {
+                let t = run_combo(combo, scale, seed);
+                exec += t.execution_time().as_secs_f64();
+                bps += Bps.compute(&t).unwrap_or(f64::NAN);
+                bw += Bandwidth.compute(&t).unwrap_or(f64::NAN);
+            }
+            let n = seeds.len() as f64;
+            ComboResult {
+                combo,
+                exec_s: exec / n,
+                bps: bps / n,
+                bw: bw / n,
+            }
+        })
+        .collect();
+    results.sort_by(|a, b| b.bps.partial_cmp(&a.bps).expect("finite BPS"));
+    results
+}
+
+/// Render the extension study.
+pub fn report(scale: &Scale) -> String {
+    let results = sweep(scale);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "=== Extension: optimization combinations ranked by BPS ==="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "(S = data sieving, P = prefetch, E = elevator; mixed HPIO+sequential workload)"
+    )
+    .unwrap();
+    writeln!(out, "{:<8} {:>10} {:>12} {:>12}", "combo", "exec(s)", "BPS", "BW(MB/s)").unwrap();
+    for r in &results {
+        writeln!(
+            out,
+            "{:<8} {:>10.3} {:>12.0} {:>12.1}",
+            r.combo.label(),
+            r.exec_s,
+            r.bps,
+            r.bw
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nBPS order matches execution-time order: {}",
+        if bps_ranks_match_exec(&results) { "yes" } else { "no (see EXPERIMENTS.md)" }
+    )
+    .unwrap();
+    out
+}
+
+/// Whether sorting by BPS descending equals sorting by exec time ascending.
+pub fn bps_ranks_match_exec(results: &[ComboResult]) -> bool {
+    let mut by_exec: Vec<&ComboResult> = results.iter().collect();
+    by_exec.sort_by(|a, b| a.exec_s.partial_cmp(&b.exec_s).expect("finite"));
+    by_exec
+        .iter()
+        .zip(results)
+        .all(|(a, b)| a.combo == b.combo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_eight_combos() {
+        let combos = Combo::all();
+        assert_eq!(combos.len(), 8);
+        let labels: std::collections::HashSet<String> =
+            combos.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn sieving_dominates_on_this_workload() {
+        let results = sweep(&Scale::tiny());
+        assert_eq!(results.len(), 8);
+        // The best combination uses sieving (the noncontiguous phase is
+        // hostile without it), and every sieving combo beats every
+        // non-sieving combo on BPS.
+        assert!(results[0].combo.sieving, "{results:?}");
+        let worst_sieving = results
+            .iter()
+            .filter(|r| r.combo.sieving)
+            .map(|r| r.bps)
+            .fold(f64::MAX, f64::min);
+        let best_plain = results
+            .iter()
+            .filter(|r| !r.combo.sieving)
+            .map(|r| r.bps)
+            .fold(f64::MIN, f64::max);
+        assert!(worst_sieving > best_plain, "{results:?}");
+    }
+
+    #[test]
+    fn bps_ranking_tracks_execution_time() {
+        // The whole point of the metric: ranking optimizations by BPS is
+        // ranking them by what the application experiences.
+        let results = sweep(&Scale::tiny());
+        assert!(bps_ranks_match_exec(&results), "{results:?}");
+    }
+}

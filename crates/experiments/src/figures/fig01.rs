@@ -1,0 +1,158 @@
+//! Figure 1: the six two-request cases where conventional metrics mislead.
+//!
+//! Each subfigure contrasts two I/O access cases that a conventional metric
+//! scores as equal (or backwards) while the overall I/O performance seen by
+//! the application differs — and shows that BPS scores them correctly.
+
+use bps_core::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
+use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
+use bps_core::time::Nanos;
+use bps_core::trace::Trace;
+use std::fmt::Write;
+
+const S: u64 = 1 << 20; // the request size "S" of the figure
+const T_MS: u64 = 10; // the service time "T" of the figure
+
+fn app(pid: u32, offset: u64, bytes: u64, s_ms: u64, e_ms: u64) -> IoRecord {
+    IoRecord::app_read(
+        ProcessId(pid),
+        FileId(0),
+        offset,
+        bytes,
+        Nanos::from_millis(s_ms),
+        Nanos::from_millis(e_ms),
+    )
+}
+
+fn fs(bytes: u64, s_ms: u64, e_ms: u64) -> IoRecord {
+    IoRecord::new(
+        ProcessId(0),
+        IoOp::Read,
+        FileId(0),
+        0,
+        bytes,
+        Nanos::from_millis(s_ms),
+        Nanos::from_millis(e_ms),
+        Layer::FileSystem,
+    )
+}
+
+/// The six cases of Figure 1 as traces:
+/// `(subfigure label, left-case trace, right-case trace)`.
+pub fn cases() -> Vec<(&'static str, Trace, Trace)> {
+    // (a) Different I/O sizes: two size-S requests in T each, sequential,
+    // vs both served together as one size-2S request in T.
+    let a_left = Trace::from_records(vec![app(0, 0, S, 0, T_MS), app(0, S, S, T_MS, 2 * T_MS)]);
+    let a_right = Trace::from_records(vec![app(0, 0, 2 * S, 0, T_MS)]);
+
+    // (b) Different actual amounts of data movement: the application asks
+    // for 2 requests of S in both cases (same times), but the right case's
+    // file system moves twice the data (prefetch/sieving overshoot).
+    let b_left = Trace::from_records(vec![
+        app(0, 0, S, 0, T_MS),
+        app(0, S, S, T_MS, 2 * T_MS),
+        fs(2 * S, 0, 2 * T_MS),
+    ]);
+    let b_right = Trace::from_records(vec![
+        app(0, 0, S, 0, T_MS),
+        app(0, S, S, T_MS, 2 * T_MS),
+        fs(4 * S, 0, 2 * T_MS),
+    ]);
+
+    // (c) Different I/O concurrency: sequential vs fully concurrent.
+    let c_left = Trace::from_records(vec![app(0, 0, S, 0, T_MS), app(0, S, S, T_MS, 2 * T_MS)]);
+    let c_right = Trace::from_records(vec![app(0, 0, S, 0, T_MS), app(1, S, S, 0, T_MS)]);
+
+    vec![
+        ("(a) different I/O sizes", a_left, a_right),
+        ("(b) different data movement", b_left, b_right),
+        ("(c) different concurrency", c_left, c_right),
+    ]
+}
+
+/// Render the figure: per subfigure, each metric's left/right values and
+/// whether the metric distinguishes the cases the way the application
+/// experiences them.
+pub fn report() -> String {
+    let mut out = String::new();
+    writeln!(out, "=== Figure 1: two-request cases ===").unwrap();
+    for (label, left, right) in cases() {
+        writeln!(out, "{label}").unwrap();
+        let metrics: Vec<(&str, f64, f64)> = vec![
+            (
+                "IOPS",
+                Iops.compute(&left).unwrap(),
+                Iops.compute(&right).unwrap(),
+            ),
+            (
+                "BW",
+                Bandwidth.compute(&left).unwrap(),
+                Bandwidth.compute(&right).unwrap(),
+            ),
+            (
+                "ARPT",
+                Arpt.compute(&left).unwrap(),
+                Arpt.compute(&right).unwrap(),
+            ),
+            (
+                "BPS",
+                Bps.compute(&left).unwrap(),
+                Bps.compute(&right).unwrap(),
+            ),
+        ];
+        for (name, l, r) in metrics {
+            writeln!(out, "  {name:<5} left {l:>12.2}   right {r:>12.2}").unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subfigure_a_iops_equal_bps_differs() {
+        let cs = cases();
+        let (_, left, right) = &cs[0];
+        // IOPS identical (the paper's 1/T in both cases)...
+        let il = Iops.compute(left).unwrap();
+        let ir = Iops.compute(right).unwrap();
+        assert!((il - ir).abs() < 1e-9);
+        // ...but the right case is twice as fast by BPS.
+        let bl = Bps.compute(left).unwrap();
+        let br = Bps.compute(right).unwrap();
+        assert!((br / bl - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subfigure_b_bw_differs_bps_equal() {
+        let cs = cases();
+        let (_, left, right) = &cs[1];
+        let wl = Bandwidth.compute(left).unwrap();
+        let wr = Bandwidth.compute(right).unwrap();
+        assert!(wr > 1.9 * wl, "BW rewards the extra movement");
+        let bl = Bps.compute(left).unwrap();
+        let br = Bps.compute(right).unwrap();
+        assert!((bl - br).abs() < 1e-9, "BPS sees identical app performance");
+    }
+
+    #[test]
+    fn subfigure_c_arpt_equal_bps_differs() {
+        let cs = cases();
+        let (_, left, right) = &cs[2];
+        let al = Arpt.compute(left).unwrap();
+        let ar = Arpt.compute(right).unwrap();
+        assert!((al - ar).abs() < 1e-12, "ARPT blind to concurrency");
+        let bl = Bps.compute(left).unwrap();
+        let br = Bps.compute(right).unwrap();
+        assert!((br / bl - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders_all_subfigures() {
+        let r = report();
+        assert!(r.contains("(a)") && r.contains("(b)") && r.contains("(c)"));
+        assert!(r.contains("BPS"));
+    }
+}

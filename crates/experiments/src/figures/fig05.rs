@@ -1,0 +1,72 @@
+//! Figure 5 — Set 2 on HDD: various I/O request sizes.
+//!
+//! "We ran IOzone to read a 16GB file from the local file system with the
+//! record size from 4KB to 8MB." Bandwidth and BPS correlate correctly
+//! (~0.90); IOPS and ARPT come out with the *wrong* direction: bigger
+//! records mean fewer, slower ops (IOPS down, ARPT up) yet much faster
+//! applications.
+
+use crate::figures::common::CcFigure;
+use crate::runner::{CasePoint, CaseSpec, Storage};
+use crate::scale::Scale;
+use bps_workloads::iozone::Iozone;
+
+/// The record-size sweep: 4 KB to 8 MB.
+pub const RECORD_SIZES: [u64; 7] = [
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    8 << 20,
+];
+
+fn label_of(rs: u64) -> String {
+    if rs >= 1 << 20 {
+        format!("{}MB", rs >> 20)
+    } else {
+        format!("{}KB", rs >> 10)
+    }
+}
+
+/// Run the sweep on the given storage (shared with Figure 6).
+pub fn points_on(storage: Storage, file_size: u64, seeds: &[u64]) -> Vec<CasePoint> {
+    RECORD_SIZES
+        .iter()
+        .map(|&rs| {
+            let workload = Iozone::seq_read(file_size, rs);
+            let spec = CaseSpec::new(storage, &workload);
+            CasePoint::averaged(label_of(rs), &spec, seeds)
+        })
+        .collect()
+}
+
+/// Run the HDD sweep and score the metrics.
+pub fn run(scale: &Scale) -> CcFigure {
+    let points = points_on(Storage::Hdd, scale.fig5_file, &scale.seeds());
+    CcFigure::from_points("Figure 5: CC across I/O sizes (HDD)", points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bw_and_bps_correct_iops_and_arpt_wrong() {
+        let fig = run(&Scale::tiny());
+        assert_eq!(fig.direction_correct("BW"), Some(true), "{fig}");
+        assert_eq!(fig.direction_correct("BPS"), Some(true), "{fig}");
+        assert!(fig.normalized("BPS").unwrap() > 0.7, "{fig}");
+        assert_eq!(fig.direction_correct("IOPS"), Some(false), "{fig}");
+        assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+    }
+
+    #[test]
+    fn bigger_records_run_faster() {
+        let fig = run(&Scale::tiny());
+        let first = &fig.cases[0];
+        let last = &fig.cases[fig.cases.len() - 1];
+        assert!(last.exec_s < first.exec_s / 2.0, "{fig}");
+    }
+}

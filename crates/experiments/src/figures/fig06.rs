@@ -1,0 +1,38 @@
+//! Figure 6 — Set 2 on SSD: various I/O request sizes.
+//!
+//! The same sweep as Figure 5 on the PCI-E SSD. Same verdicts: BW and BPS
+//! correct, IOPS and ARPT direction-wrong — the pathology is about request
+//! sizing, not the medium.
+
+use crate::figures::common::CcFigure;
+use crate::figures::fig05::points_on;
+use crate::runner::Storage;
+use crate::scale::Scale;
+
+/// Run the SSD sweep and score the metrics.
+pub fn run(scale: &Scale) -> CcFigure {
+    let points = points_on(Storage::Ssd, scale.fig5_file, &scale.seeds());
+    CcFigure::from_points("Figure 6: CC across I/O sizes (SSD)", points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_verdicts_as_hdd() {
+        let fig = run(&Scale::tiny());
+        assert_eq!(fig.direction_correct("BW"), Some(true), "{fig}");
+        assert_eq!(fig.direction_correct("BPS"), Some(true), "{fig}");
+        assert_eq!(fig.direction_correct("IOPS"), Some(false), "{fig}");
+        assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+    }
+
+    #[test]
+    fn ssd_faster_than_hdd_at_small_records() {
+        let scale = Scale::tiny();
+        let ssd = run(&scale);
+        let hdd = crate::figures::fig05::run(&scale);
+        assert!(ssd.cases[0].exec_s < hdd.cases[0].exec_s);
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 8 — detail: ARPT vs application execution time (SSD).
+//!
+//! The paper's anchors: ARPT grows from 0.14 ms at 4 KB records to
+//! 22.35 ms at 4 MB — "meaning a decreased I/O performance. However, the
+//! overall computer performance is largely increased."
+
+use crate::figures::common::DetailSeries;
+use crate::figures::fig05::points_on;
+use crate::runner::Storage;
+use crate::scale::Scale;
+
+/// Run the sweep and extract the ARPT detail series.
+pub fn run(scale: &Scale) -> DetailSeries {
+    let points = points_on(Storage::Ssd, scale.fig5_file, &scale.seeds());
+    DetailSeries::from_points(
+        "Figure 8: ARPT vs execution time across I/O sizes (SSD)",
+        "ARPT",
+        &points,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arpt_rises_while_time_falls() {
+        let s = run(&Scale::tiny());
+        let first = &s.points[0]; // 4 KB
+        let large = s.points.iter().find(|p| p.0 == "4MB").unwrap();
+        assert!(large.1 > 20.0 * first.1, "ARPT should grow: {s}");
+        assert!(first.2 > large.2, "exec time should shrink: {s}");
+    }
+
+    #[test]
+    fn arpt_anchors_near_paper() {
+        let s = run(&Scale::tiny());
+        let arpt_4k = s.points[0].1;
+        let arpt_4m = s.points.iter().find(|p| p.0 == "4MB").unwrap().1;
+        // Paper: 0.00014 s and 0.02235 s.
+        assert!((0.00008..0.0004).contains(&arpt_4k), "4KB ARPT {arpt_4k}");
+        assert!((0.012..0.04).contains(&arpt_4m), "4MB ARPT {arpt_4m}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Figure 9 — Set 3a: "pure" concurrent I/O.
+//!
+//! "Each process of IOzone accessed its own PVFS2 file, and each file is
+//! hosted on an individual I/O server. We limited each file to locate on
+//! one I/O server by setting the file stripe layout attributes. There were
+//! eight I/O servers ... the POSIX interface, and the total data amount of
+//! file accesses is 32GB." Processes vary 1–8. IOPS, BW and BPS correlate
+//! correctly (~0.96); ARPT points the wrong way — more concurrency
+//! finishes sooner while per-request response times inch *up*.
+
+use crate::figures::common::CcFigure;
+use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
+use crate::scale::Scale;
+use bps_workloads::iozone::Iozone;
+
+/// Record size of the per-process sequential reads.
+pub const RECORD_SIZE: u64 = 64 << 10;
+
+/// Run the sweep points (shared with Figure 10).
+pub fn points(scale: &Scale) -> Vec<CasePoint> {
+    let seeds = scale.seeds();
+    (1..=8usize)
+        .map(|n| {
+            let per_proc = scale.fig9_total / n as u64;
+            let workload = Iozone::throughput_read(n, per_proc, RECORD_SIZE);
+            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, &workload);
+            spec.layout = LayoutPolicy::PinnedPerFile;
+            spec.clients = n;
+            CasePoint::averaged(format!("np={n}"), &spec, &seeds)
+        })
+        .collect()
+}
+
+/// Run the sweep and score the metrics.
+pub fn run(scale: &Scale) -> CcFigure {
+    CcFigure::from_points(
+        "Figure 9: CC under pure concurrency (per-process files, pinned servers)",
+        points(scale),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_metrics_correct_arpt_wrong() {
+        let fig = run(&Scale::tiny());
+        for m in ["IOPS", "BW", "BPS"] {
+            assert_eq!(fig.direction_correct(m), Some(true), "{m}: {fig}");
+            assert!(fig.normalized(m).unwrap() > 0.8, "{m}: {fig}");
+        }
+        assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+    }
+
+    #[test]
+    fn more_processes_finish_sooner() {
+        let fig = run(&Scale::tiny());
+        assert!(fig.cases[7].exec_s < fig.cases[0].exec_s / 3.0, "{fig}");
+    }
+}

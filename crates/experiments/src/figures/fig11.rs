@@ -1,0 +1,65 @@
+//! Figure 11 — Set 3b: IOR shared-file concurrency.
+//!
+//! "We ran IOR with the MPI-IO interface to access a shared PVFS2 file,
+//! which is striped across the underlying 8 I/O servers with a default
+//! stripe layout. Each of n MPI processes is responsible for reading its
+//! own 1/n of a 32 GB file ... fixed transfer size (64KB)." Processes vary
+//! 1–32. IOPS/BW/BPS stay correct (~0.91); ARPT again points the wrong
+//! way (paper: ~0.39) as server queues grow with fan-in.
+
+use crate::figures::common::CcFigure;
+use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
+use crate::scale::Scale;
+use bps_workloads::ior::Ior;
+
+/// The process counts swept.
+pub const PROCESS_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Run the sweep and score the metrics.
+pub fn run(scale: &Scale) -> CcFigure {
+    let seeds = scale.seeds();
+    let points: Vec<CasePoint> = PROCESS_COUNTS
+        .iter()
+        .map(|&n| {
+            let workload = Ior::shared_read(n, scale.fig11_total);
+            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, &workload);
+            spec.layout = LayoutPolicy::DefaultStripe;
+            spec.clients = n;
+            CasePoint::averaged(format!("np={n}"), &spec, &seeds)
+        })
+        .collect();
+    CcFigure::from_points("Figure 11: CC for IOR on a shared striped file", points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_metrics_correct_arpt_wrong() {
+        let fig = run(&Scale::tiny());
+        for m in ["IOPS", "BW", "BPS"] {
+            assert_eq!(fig.direction_correct(m), Some(true), "{m}: {fig}");
+            assert!(fig.normalized(m).unwrap() > 0.6, "{m}: {fig}");
+        }
+        assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+    }
+
+    #[test]
+    fn speedup_then_saturation() {
+        let fig = run(&Scale::tiny());
+        let t = |label: &str| fig.cases.iter().find(|c| c.label == label).unwrap().exec_s;
+        // Concurrency helps early...
+        assert!(t("np=8") < t("np=1"), "{fig}");
+        // ...but the last doubling buys little (servers saturated).
+        let ratio = t("np=32") / t("np=16");
+        assert!(ratio > 0.6, "still scaling linearly at np=32? {fig}");
+    }
+
+    #[test]
+    fn arpt_grows_under_fan_in() {
+        let fig = run(&Scale::tiny());
+        let a = |label: &str| fig.cases.iter().find(|c| c.label == label).unwrap().arpt;
+        assert!(a("np=32") > a("np=1"), "{fig}");
+    }
+}

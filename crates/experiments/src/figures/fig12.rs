@@ -1,0 +1,75 @@
+//! Figure 12 — Set 4: various additional data movement (data sieving).
+//!
+//! "We ran Hpio ... noncontiguous file read ... PVFS2 ... 4 I/O servers.
+//! Data sieving was enabled ... region count 4096000, region size 256
+//! bytes ... region spacing from 8 bytes to 4096 bytes." IOPS, ARPT and
+//! BPS stay correct (~0.92); **bandwidth points the wrong way** — the file
+//! system moves ever more hole bytes at a healthy rate while the
+//! application only gets slower. "File system performance does not
+//! represent I/O system performance."
+
+use crate::figures::common::CcFigure;
+use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
+use crate::scale::Scale;
+use bps_middleware::sieving::SievingConfig;
+use bps_workloads::hpio::Hpio;
+
+/// The region spacings swept (bytes of hole between 256-byte regions).
+pub const SPACINGS: [u64; 5] = [8, 64, 256, 1024, 4096];
+
+/// MPI processes issuing the noncontiguous reads.
+pub const PROCESSES: usize = 4;
+
+/// Build the HPIO workload for one spacing at a given scale.
+pub fn workload(scale: &Scale, spacing: u64) -> Hpio {
+    let mut w = Hpio::paper_shape(scale.fig12_regions, spacing, PROCESSES);
+    // Keep roughly 40 noncontiguous calls per sweep point at any scale,
+    // matching the paper's regions-per-call at full scale.
+    w.regions_per_call = (scale.fig12_regions / 40).clamp(256, 4096);
+    w
+}
+
+/// Run the sweep and score the metrics.
+pub fn run(scale: &Scale) -> CcFigure {
+    let seeds = scale.seeds();
+    let points: Vec<CasePoint> = SPACINGS
+        .iter()
+        .map(|&spacing| {
+            let w = workload(scale, spacing);
+            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 4 }, &w);
+            spec.layout = LayoutPolicy::DefaultStripe;
+            spec.clients = PROCESSES;
+            spec.sieving = SievingConfig::romio_default();
+            CasePoint::averaged(format!("gap={spacing}B"), &spec, &seeds)
+        })
+        .collect();
+    CcFigure::from_points(
+        "Figure 12: CC with data sieving (additional data movement)",
+        points,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bw_wrong_direction_others_correct() {
+        let fig = run(&Scale::tiny());
+        for m in ["IOPS", "ARPT", "BPS"] {
+            assert_eq!(fig.direction_correct(m), Some(true), "{m}: {fig}");
+            assert!(fig.normalized(m).unwrap() > 0.7, "{m}: {fig}");
+        }
+        assert_eq!(fig.direction_correct("BW"), Some(false), "{fig}");
+    }
+
+    #[test]
+    fn wider_gaps_slow_the_application() {
+        let fig = run(&Scale::tiny());
+        let first = &fig.cases[0];
+        let last = &fig.cases[fig.cases.len() - 1];
+        assert!(last.exec_s > 2.0 * first.exec_s, "{fig}");
+        // ...while the BW number stays healthy or improves.
+        assert!(last.bw >= first.bw * 0.9, "{fig}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Tables 1 and 2 of the paper.
+
+use bps_core::metrics::{paper_metrics, Direction};
+use std::fmt::Write;
+
+/// Table 1: the expected correlation direction of each I/O metric against
+/// application execution time. Rendered from the live metric definitions,
+/// so the table cannot drift from the code.
+pub fn table1() -> String {
+    let mut out = String::new();
+    writeln!(out, "=== Table 1: expected correlation directions ===").unwrap();
+    writeln!(out, "{:<22} {:>10}", "I/O metric", "CC value").unwrap();
+    for m in paper_metrics() {
+        let dir = match m.expected_direction() {
+            Direction::Negative => "negative",
+            Direction::Positive => "positive",
+        };
+        let name = match m.name() {
+            "BW" => "Bandwidth",
+            "ARPT" => "Average response time",
+            other => other,
+        };
+        writeln!(out, "{name:<22} {dir:>10}").unwrap();
+    }
+    out
+}
+
+/// Table 2: the four I/O access case sets of the evaluation, mapped to the
+/// modules that reproduce them.
+pub fn table2() -> String {
+    let rows = [
+        ("Set1", "various storage device", "fig04"),
+        ("Set2", "various I/O request size", "fig05 fig06 fig07 fig08"),
+        ("Set3", "various I/O concurrency", "fig09 fig10 fig11"),
+        ("Set4", "various additional data movement", "fig12"),
+    ];
+    let mut out = String::new();
+    writeln!(out, "=== Table 2: I/O access cases ===").unwrap();
+    writeln!(out, "{:<6} {:<34} Reproduced by", "Set", "Description").unwrap();
+    for (set, desc, by) in rows {
+        writeln!(out, "{set:<6} {desc:<34} {by}").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        assert!(t.contains("IOPS") && t.contains("negative"));
+        assert!(t.contains("Average response time"));
+        assert!(t.contains("positive"));
+        assert!(t.contains("BPS"));
+        // Exactly one positive row (ARPT).
+        assert_eq!(t.matches("positive").count(), 1);
+    }
+
+    #[test]
+    fn table2_lists_four_sets() {
+        let t = table2();
+        for set in ["Set1", "Set2", "Set3", "Set4"] {
+            assert!(t.contains(set));
+        }
+        assert!(t.contains("additional data movement"));
+    }
+}

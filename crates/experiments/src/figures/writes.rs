@@ -1,0 +1,87 @@
+//! Extension: the Set 2 sweep with *writes*.
+//!
+//! The paper's evaluation reads; IOzone also tests writes, and nothing in
+//! the BPS definition is read-specific ("Letting B denote the number of
+//! I/O blocks (Read/Write)"). This module repeats the record-size sweep
+//! with sequential writes on both devices and checks the verdicts carry
+//! over: IOPS and ARPT still mislead, BW and BPS still track the
+//! application.
+
+use crate::figures::common::CcFigure;
+use crate::figures::fig05::RECORD_SIZES;
+use crate::runner::{CasePoint, CaseSpec, Storage};
+use crate::scale::Scale;
+use bps_workloads::iozone::{Iozone, IozoneMode};
+
+fn label_of(rs: u64) -> String {
+    if rs >= 1 << 20 {
+        format!("{}MB", rs >> 20)
+    } else {
+        format!("{}KB", rs >> 10)
+    }
+}
+
+/// Run the write sweep on one device.
+pub fn run_on(storage: Storage, scale: &Scale) -> CcFigure {
+    let seeds = scale.seeds();
+    let points: Vec<CasePoint> = RECORD_SIZES
+        .iter()
+        .map(|&rs| {
+            let workload = Iozone {
+                mode: IozoneMode::SeqWrite,
+                file_size: scale.fig5_file,
+                record_size: rs,
+                processes: 1,
+                seed: 0,
+            };
+            let spec = CaseSpec::new(storage, &workload);
+            CasePoint::averaged(label_of(rs), &spec, &seeds)
+        })
+        .collect();
+    let name = match storage {
+        Storage::Hdd => "HDD",
+        Storage::Ssd => "SSD",
+        Storage::Pvfs { .. } => "PVFS",
+    };
+    CcFigure::from_points(
+        format!("Extension: CC across I/O sizes, sequential WRITES ({name})"),
+        points,
+    )
+}
+
+/// Both device sweeps.
+pub fn report(scale: &Scale) -> String {
+    format!(
+        "{}\n{}",
+        run_on(Storage::Hdd, scale),
+        run_on(Storage::Ssd, scale)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_sweep_same_verdicts_as_reads() {
+        for storage in [Storage::Hdd, Storage::Ssd] {
+            let fig = run_on(storage, &Scale::tiny());
+            assert_eq!(fig.direction_correct("IOPS"), Some(false), "{fig}");
+            assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+            assert_eq!(fig.direction_correct("BW"), Some(true), "{fig}");
+            assert_eq!(fig.direction_correct("BPS"), Some(true), "{fig}");
+        }
+    }
+
+    #[test]
+    fn ssd_writes_slower_than_reads_at_same_size() {
+        // The SSD's program latency exceeds its read latency; sanity-check
+        // the asymmetry survives the full stack.
+        let scale = Scale::tiny();
+        let writes = run_on(Storage::Ssd, &scale);
+        let reads = crate::figures::fig06::run(&scale);
+        let w4k = writes.cases[0].exec_s;
+        let r4k = reads.cases[0].exec_s;
+        assert!(w4k > r4k, "write {w4k} vs read {r4k}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Building and running one experiment case.
+//!
+//! A [`CaseSpec`] names a storage configuration plus a workload; `run_case`
+//! assembles the simulated cluster and file system, binds the workload's
+//! files, drives all processes to completion, and returns the collected
+//! multi-layer trace. [`CasePoint`] averages the four paper metrics over
+//! repeated seeded runs, as the paper averages 5 runs per case.
+
+use bps_core::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
+use bps_core::record::FileId;
+use bps_core::time::Dur;
+use bps_core::trace::Trace;
+use bps_fs::cluster::{Cluster, ClusterConfig, DeviceSpec};
+use bps_fs::layout::StripeLayout;
+use bps_fs::localfs::LocalFs;
+use bps_fs::pfs::ParallelFs;
+use bps_middleware::process::run_workload;
+use bps_middleware::sieving::SievingConfig;
+use bps_middleware::stack::{FsBackend, IoStack};
+use bps_sim::device::hdd::HddProfile;
+use bps_sim::device::ssd::SsdProfile;
+use bps_sim::device::DiskSched;
+use bps_sim::rng::{Jitter, SimRng};
+use bps_workloads::spec::Workload;
+use serde::Serialize;
+
+/// Storage configuration of a case (the paper's Set 1 dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Storage {
+    /// Local file system on the testbed HDD.
+    Hdd,
+    /// Local file system on the testbed SSD.
+    Ssd,
+    /// PVFS2-like parallel FS over this many I/O servers.
+    Pvfs {
+        /// Number of I/O servers.
+        servers: usize,
+    },
+}
+
+/// How the workload's files are laid out on a PVFS case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutPolicy {
+    /// Default 64 KB striping over all servers (paper's IOR setup).
+    DefaultStripe,
+    /// File `i` pinned to server `i % servers` (paper's "pure" concurrency
+    /// setup: each process's file on its own server).
+    PinnedPerFile,
+}
+
+/// One experiment case: a storage configuration plus a workload.
+pub struct CaseSpec<'a> {
+    /// Storage under test.
+    pub storage: Storage,
+    /// Number of client nodes (the paper runs each MPI process on its own
+    /// node).
+    pub clients: usize,
+    /// The benchmark.
+    pub workload: &'a dyn Workload,
+    /// File layout policy (PVFS only).
+    pub layout: LayoutPolicy,
+    /// Data sieving configuration for noncontiguous reads.
+    pub sieving: SievingConfig,
+    /// Per-op CPU cost charged by each application process.
+    pub cpu_per_op: Dur,
+}
+
+impl<'a> CaseSpec<'a> {
+    /// A sensible default case over the given storage and workload.
+    pub fn new(storage: Storage, workload: &'a dyn Workload) -> Self {
+        CaseSpec {
+            storage,
+            clients: workload.processes(),
+            workload,
+            layout: LayoutPolicy::DefaultStripe,
+            sieving: SievingConfig::romio_default(),
+            cpu_per_op: Dur::from_micros(5),
+        }
+    }
+}
+
+/// Run one case once with one seed; returns the trace (execution time set).
+pub fn run_case(spec: &CaseSpec<'_>, seed: u64) -> Trace {
+    let servers = match spec.storage {
+        Storage::Pvfs { servers } => servers,
+        _ => 1,
+    };
+    // Per-run variability beyond per-request jitter: server CPU cost and
+    // device behaviour differ slightly run to run (placement, background
+    // daemons), which is why the paper averages 5 runs.
+    let mut seed_rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+    let server_cpu =
+        Dur::from_secs_f64(25e-6 * (0.85 + 0.3 * seed_rng.unit()));
+    let cfg = ClusterConfig {
+        servers,
+        clients: spec.clients.max(1),
+        device: match spec.storage {
+            Storage::Ssd => DeviceSpec::Ssd(SsdProfile::pcie_x4_100gb()),
+            _ => DeviceSpec::Hdd(HddProfile::sata_7200_250gb()),
+        },
+        sched: DiskSched::Fifo,
+        server_cpu,
+        jitter: Jitter::DEFAULT,
+        seed,
+        record_device_layer: false,
+    };
+    let cluster = Cluster::new(&cfg);
+    let file_sizes = spec.workload.file_sizes();
+    let mut file_map: Vec<FileId> = Vec::with_capacity(file_sizes.len());
+    let backend = match spec.storage {
+        Storage::Hdd | Storage::Ssd => {
+            let mut fs = LocalFs::new(0);
+            for &size in &file_sizes {
+                file_map.push(fs.create(size));
+            }
+            FsBackend::Local(fs)
+        }
+        Storage::Pvfs { servers } => {
+            let mut pfs = ParallelFs::new(servers);
+            for (i, &size) in file_sizes.iter().enumerate() {
+                let layout = match spec.layout {
+                    LayoutPolicy::DefaultStripe => StripeLayout::default_over(servers),
+                    LayoutPolicy::PinnedPerFile => StripeLayout::pinned(i % servers),
+                };
+                file_map.push(pfs.create(size, layout));
+            }
+            FsBackend::Parallel(pfs)
+        }
+    };
+    let mut stack = IoStack::new(cluster, backend);
+    stack.sieving = spec.sieving;
+    let (trace, _outcome) = run_workload(stack, spec.workload, &file_map, spec.cpu_per_op);
+    trace
+}
+
+/// The four paper metrics plus execution time for one case, averaged over
+/// seeds.
+#[derive(Debug, Clone, Serialize)]
+pub struct CasePoint {
+    /// Case label (e.g. "pvfs-4", "64KB", "np=8", "spacing=512").
+    pub label: String,
+    /// Mean IOPS.
+    pub iops: f64,
+    /// Mean bandwidth, MB/s.
+    pub bw: f64,
+    /// Mean average response time, seconds.
+    pub arpt: f64,
+    /// Mean BPS, blocks/second.
+    pub bps: f64,
+    /// Mean application execution time, seconds.
+    pub exec_s: f64,
+}
+
+impl CasePoint {
+    /// Run a case once per seed and average the metrics.
+    pub fn averaged(label: impl Into<String>, spec: &CaseSpec<'_>, seeds: &[u64]) -> CasePoint {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let mut sums = [0.0f64; 5];
+        for &seed in seeds {
+            let trace = run_case(spec, seed);
+            sums[0] += Iops.compute(&trace).unwrap_or(f64::NAN);
+            sums[1] += Bandwidth.compute(&trace).unwrap_or(f64::NAN);
+            sums[2] += Arpt.compute(&trace).unwrap_or(f64::NAN);
+            sums[3] += Bps.compute(&trace).unwrap_or(f64::NAN);
+            sums[4] += trace.execution_time().as_secs_f64();
+        }
+        let n = seeds.len() as f64;
+        CasePoint {
+            label: label.into(),
+            iops: sums[0] / n,
+            bw: sums[1] / n,
+            arpt: sums[2] / n,
+            bps: sums[3] / n,
+            exec_s: sums[4] / n,
+        }
+    }
+
+    /// The metric value by paper name ("IOPS", "BW", "ARPT", "BPS").
+    pub fn metric(&self, name: &str) -> f64 {
+        match name {
+            "IOPS" => self.iops,
+            "BW" => self.bw,
+            "ARPT" => self.arpt,
+            "BPS" => self.bps,
+            other => panic!("unknown metric {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bps_workloads::iozone::Iozone;
+
+    #[test]
+    fn run_case_produces_layered_trace() {
+        let w = Iozone::seq_read(8 << 20, 256 << 10);
+        let spec = CaseSpec::new(Storage::Hdd, &w);
+        let trace = run_case(&spec, 1);
+        use bps_core::record::Layer;
+        assert_eq!(trace.op_count(Layer::Application), 32);
+        assert_eq!(trace.op_count(Layer::FileSystem), 32);
+        assert!(trace.execution_time() > Dur::ZERO);
+    }
+
+    #[test]
+    fn seeds_change_timing_but_not_structure() {
+        let w = Iozone::seq_read(4 << 20, 256 << 10);
+        let spec = CaseSpec::new(Storage::Hdd, &w);
+        let a = run_case(&spec, 1);
+        let b = run_case(&spec, 2);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(
+            a.execution_time(),
+            b.execution_time(),
+            "different seeds should jitter timing"
+        );
+        // Same seed: byte-identical.
+        let c = run_case(&spec, 1);
+        assert_eq!(a.records(), c.records());
+    }
+
+    #[test]
+    fn averaged_point_is_finite() {
+        let w = Iozone::seq_read(4 << 20, 256 << 10);
+        let spec = CaseSpec::new(Storage::Ssd, &w);
+        let p = CasePoint::averaged("ssd", &spec, &[1, 2]);
+        assert!(p.iops.is_finite() && p.iops > 0.0);
+        assert!(p.bw.is_finite() && p.bw > 0.0);
+        assert!(p.arpt.is_finite() && p.arpt > 0.0);
+        assert!(p.bps.is_finite() && p.bps > 0.0);
+        assert!(p.exec_s > 0.0);
+        assert_eq!(p.metric("BPS"), p.bps);
+    }
+
+    #[test]
+    fn pvfs_case_runs() {
+        let w = Iozone::seq_read(8 << 20, 1 << 20);
+        let mut spec = CaseSpec::new(Storage::Pvfs { servers: 4 }, &w);
+        spec.layout = LayoutPolicy::DefaultStripe;
+        let trace = run_case(&spec, 3);
+        use bps_core::record::Layer;
+        // 1 MB records over 64 KB stripes on 4 servers: >1 FS op per app op.
+        assert!(trace.op_count(Layer::FileSystem) > trace.op_count(Layer::Application));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn unknown_metric_panics() {
+        let p = CasePoint {
+            label: "x".into(),
+            iops: 0.0,
+            bw: 0.0,
+            arpt: 0.0,
+            bps: 0.0,
+            exec_s: 0.0,
+        };
+        p.metric("nope");
+    }
+}

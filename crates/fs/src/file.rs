@@ -1,0 +1,45 @@
+//! File metadata: size, layout, and on-device extent placement.
+
+use crate::layout::StripeLayout;
+use bps_core::record::FileId;
+use serde::{Deserialize, Serialize};
+
+/// Metadata of one simulated file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// Identifier used in trace records.
+    pub id: FileId,
+    /// Logical size in bytes.
+    pub size: u64,
+    /// How the file is distributed over servers.
+    pub layout: StripeLayout,
+    /// Base LBA of this file's contiguous extent on each layout slot's
+    /// device (index-aligned with `layout.servers`). Files are allocated
+    /// contiguously per server, so `LBA = base + server_offset / 512`.
+    pub base_lba: Vec<u64>,
+}
+
+impl FileMeta {
+    /// The device LBA holding byte `server_offset` of layout slot `slot`.
+    pub fn lba_of(&self, slot: usize, server_offset: u64) -> u64 {
+        self.base_lba[slot] + server_offset / bps_core::block::BLOCK_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lba_mapping() {
+        let meta = FileMeta {
+            id: FileId(1),
+            size: 1 << 20,
+            layout: StripeLayout::new(1024, vec![0, 1]),
+            base_lba: vec![100, 200],
+        };
+        assert_eq!(meta.lba_of(0, 0), 100);
+        assert_eq!(meta.lba_of(0, 512), 101);
+        assert_eq!(meta.lba_of(1, 1024), 202);
+    }
+}

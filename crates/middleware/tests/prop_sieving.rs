@@ -1,0 +1,101 @@
+//! Property tests for data sieving: coverage, disjointness, extraction
+//! correctness, and the waste accounting behind Figure 12.
+
+use bps_core::extent::{self, Extent};
+use bps_middleware::sieving::{extract, plan_read, SieveMode, SievingConfig};
+use proptest::prelude::*;
+
+fn regions() -> impl Strategy<Value = Vec<Extent>> {
+    proptest::collection::vec((0u64..1_000_000, 1u64..10_000), 0..40)
+        .prop_map(|v| v.into_iter().map(|(o, l)| Extent::new(o, l)).collect())
+}
+
+fn config() -> impl Strategy<Value = SievingConfig> {
+    (
+        prop_oneof![
+            Just(SieveMode::Disabled),
+            Just(SieveMode::Enabled),
+            Just(SieveMode::Auto)
+        ],
+        1u64..100_000,
+        1.0f64..100.0,
+    )
+        .prop_map(|(mode, buffer_size, auto_waste_limit)| SievingConfig {
+            mode,
+            buffer_size,
+            auto_waste_limit,
+        })
+}
+
+proptest! {
+    /// Every requested byte is covered by exactly one planned read, and the
+    /// planned reads are disjoint and ascending.
+    #[test]
+    fn plan_covers_regions(rs in regions(), cfg in config()) {
+        let plan = plan_read(&rs, &cfg);
+        // Reads ascending & disjoint.
+        for w in plan.fs_reads.windows(2) {
+            prop_assert!(w[0].end() <= w[1].offset);
+        }
+        // Coverage: every region byte inside some read. Check region
+        // endpoints and one midpoint (reads are contiguous ranges).
+        let covered = |b: u64| plan.fs_reads.iter().any(|e| e.offset <= b && b < e.end());
+        for r in extent::normalize(&rs) {
+            prop_assert!(covered(r.offset), "first byte of {r:?}");
+            prop_assert!(covered(r.end() - 1), "last byte of {r:?}");
+            prop_assert!(covered(r.offset + r.len / 2));
+        }
+        // Accounting.
+        let moved: u64 = plan.fs_reads.iter().map(|e| e.len).sum();
+        prop_assert_eq!(moved, plan.moved);
+        prop_assert_eq!(plan.required, extent::covered_bytes(&extent::normalize(&rs)));
+        prop_assert!(plan.moved >= plan.required);
+        if !plan.sieved {
+            prop_assert_eq!(plan.moved, plan.required);
+        }
+    }
+
+    /// Planned reads respect the buffer limit when sieving.
+    #[test]
+    fn buffer_limit_respected(rs in regions(), buffer in 1u64..50_000) {
+        let cfg = SievingConfig { mode: SieveMode::Enabled, buffer_size: buffer, auto_waste_limit: 16.0 };
+        let plan = plan_read(&rs, &cfg);
+        if plan.sieved {
+            for r in &plan.fs_reads {
+                prop_assert!(r.len <= buffer, "{} > {buffer}", r.len);
+            }
+        }
+    }
+
+    /// Extraction through the plan returns byte-identical data to reading
+    /// each region directly, for any plan mode.
+    #[test]
+    fn extraction_correct(rs in regions(), cfg in config()) {
+        let file_byte = |i: u64| (i.wrapping_mul(31).wrapping_add(7) % 256) as u8;
+        let plan = plan_read(&rs, &cfg);
+        let got = extract(&rs, &plan, |e| (e.offset..e.end()).map(file_byte).collect());
+        let want: Vec<u8> = extent::normalize(&rs)
+            .iter()
+            .flat_map(|r| (r.offset..r.end()).map(file_byte))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Auto never wastes more than the configured limit.
+    #[test]
+    fn auto_bounds_waste(rs in regions(), limit in 1.0f64..50.0) {
+        let cfg = SievingConfig { mode: SieveMode::Auto, buffer_size: 1 << 20, auto_waste_limit: limit };
+        let plan = plan_read(&rs, &cfg);
+        if plan.sieved && plan.required > 0 {
+            prop_assert!(plan.moved as f64 / plan.required as f64 <= limit + 1e-9);
+        }
+    }
+
+    /// Sieving never issues more file-system reads than the disabled plan.
+    #[test]
+    fn sieving_reduces_op_count(rs in regions()) {
+        let enabled = plan_read(&rs, &SievingConfig::romio_default());
+        let disabled = plan_read(&rs, &SievingConfig::disabled());
+        prop_assert!(enabled.fs_reads.len() <= disabled.fs_reads.len());
+    }
+}

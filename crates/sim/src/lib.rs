@@ -1,0 +1,40 @@
+//! # bps-sim — deterministic discrete-event I/O substrate
+//!
+//! The paper evaluated BPS on a 65-node cluster (GigE, 7200 RPM SATA HDDs,
+//! a PCI-E SSD, PVFS2 with 1–8 I/O servers). This crate replaces that
+//! hardware with a virtual-time simulation precise enough to reproduce every
+//! qualitative result of the evaluation:
+//!
+//! * [`engine`] — the event loop. Simulated *processes* wake in global time
+//!   order; each wake lets a process issue its next I/O through the
+//!   environment and schedule its own next wake.
+//! * [`resource`] — analytic FIFO resources. A non-preemptive FIFO queue's
+//!   completion times are exactly `max(arrival, busy_until) + service`, so
+//!   queues need no per-event machinery; this keeps the simulator exact,
+//!   fast, and trivially deterministic.
+//! * [`device`] — HDD (seek + rotation + streaming transfer + per-request
+//!   controller overhead, with head-position state) and SSD (fixed low
+//!   per-op latency, channel parallelism) block-device models.
+//! * [`net`] — links (latency + bandwidth serialization) and a shared
+//!   switch, modeling the cluster's Gigabit Ethernet.
+//! * [`cache`] — an LRU page cache. The paper flushed caches before every
+//!   run; the cache exists to show (in an ablation bench) why they had to.
+//! * [`rng`] — seeded RNG with log-normal service-time jitter, so the
+//!   "5 runs, report the average" protocol of the paper is meaningful.
+//!
+//! Determinism: all state is integer nanoseconds, the event heap tie-breaks
+//! on (time, sequence), and all randomness flows from one seed.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod device;
+pub mod engine;
+pub mod net;
+pub mod resource;
+pub mod rng;
+
+pub use engine::{run_processes, Process, RunOutcome, Wake};
+pub use resource::{FifoResource, ResourceStats};
+pub use rng::SimRng;

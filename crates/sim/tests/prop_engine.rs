@@ -1,0 +1,151 @@
+//! Property tests for the engine: global time ordering, determinism, and
+//! barrier correctness under randomized schedules.
+
+use bps_core::time::{Dur, Nanos};
+use bps_sim::engine::{run_processes, Process, Wake, Waker};
+use proptest::prelude::*;
+
+/// A process that logs its wakes and sleeps random-ish (but deterministic)
+/// periods.
+struct Logger {
+    id: usize,
+    periods: Vec<u64>,
+    next: usize,
+    start: u64,
+}
+
+impl Process<Vec<(Nanos, usize)>> for Logger {
+    fn start_time(&self) -> Nanos {
+        Nanos(self.start)
+    }
+    fn wake(&mut self, now: Nanos, log: &mut Vec<(Nanos, usize)>, _w: &mut Waker) -> Wake {
+        log.push((now, self.id));
+        match self.periods.get(self.next) {
+            Some(&p) => {
+                self.next += 1;
+                Wake::At(now + Dur(p))
+            }
+            None => Wake::Done,
+        }
+    }
+}
+
+fn schedules() -> impl Strategy<Value = Vec<(u64, Vec<u64>)>> {
+    proptest::collection::vec(
+        (
+            0u64..1_000_000,
+            proptest::collection::vec(1u64..100_000, 0..20),
+        ),
+        1..8,
+    )
+}
+
+proptest! {
+    /// The engine dispatches wakes in nondecreasing global time order, and
+    /// every process gets exactly periods+1 wakes.
+    #[test]
+    fn wakes_globally_ordered(scheds in schedules()) {
+        let mut procs: Vec<Logger> = scheds
+            .iter()
+            .enumerate()
+            .map(|(id, (start, periods))| Logger {
+                id,
+                periods: periods.clone(),
+                next: 0,
+                start: *start,
+            })
+            .collect();
+        let mut log = Vec::new();
+        let out = run_processes(&mut procs, &mut log);
+        prop_assert!(log.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (id, (_, periods)) in scheds.iter().enumerate() {
+            let wakes = log.iter().filter(|&&(_, i)| i == id).count();
+            prop_assert_eq!(wakes, periods.len() + 1);
+        }
+        prop_assert_eq!(out.wakes as usize, log.len());
+        // Finish time of each process = its start + sum of periods.
+        for (id, (start, periods)) in scheds.iter().enumerate() {
+            let expect = Nanos(start + periods.iter().sum::<u64>());
+            prop_assert_eq!(out.finish_times[id], expect);
+        }
+    }
+
+    /// Reruns are byte-identical.
+    #[test]
+    fn engine_deterministic(scheds in schedules()) {
+        let build = || -> Vec<Logger> {
+            scheds
+                .iter()
+                .enumerate()
+                .map(|(id, (start, periods))| Logger {
+                    id,
+                    periods: periods.clone(),
+                    next: 0,
+                    start: *start,
+                })
+                .collect()
+        };
+        let mut a = Vec::new();
+        run_processes(&mut build(), &mut a);
+        let mut b = Vec::new();
+        run_processes(&mut build(), &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Barrier: whatever the arrival times, everyone is released exactly at
+    /// the last arrival and nobody runs between their arrival and release.
+    #[test]
+    fn barrier_release_time_is_max_arrival(arrivals in proptest::collection::vec(0u64..1_000_000, 2..8)) {
+        struct B {
+            id: usize,
+            at: u64,
+            phase: u8,
+        }
+        #[derive(Default)]
+        struct Env {
+            arrived: Vec<usize>,
+            n: usize,
+            release: Option<Nanos>,
+        }
+        impl Process<Env> for B {
+            fn start_time(&self) -> Nanos {
+                Nanos(self.at)
+            }
+            fn wake(&mut self, now: Nanos, env: &mut Env, w: &mut Waker) -> Wake {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        env.arrived.push(self.id);
+                        if env.arrived.len() == env.n {
+                            env.release = Some(now);
+                            for &p in &env.arrived {
+                                if p != self.id {
+                                    w.wake_at(p, now);
+                                }
+                            }
+                            Wake::At(now)
+                        } else {
+                            Wake::Park
+                        }
+                    }
+                    _ => Wake::Done,
+                }
+            }
+        }
+        let mut procs: Vec<B> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(id, &at)| B { id, at, phase: 0 })
+            .collect();
+        let mut env = Env {
+            n: arrivals.len(),
+            ..Default::default()
+        };
+        let out = run_processes(&mut procs, &mut env);
+        let max_arrival = Nanos(*arrivals.iter().max().unwrap());
+        prop_assert_eq!(env.release, Some(max_arrival));
+        for t in &out.finish_times {
+            prop_assert_eq!(*t, max_arrival);
+        }
+    }
+}

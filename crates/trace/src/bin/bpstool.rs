@@ -1,0 +1,158 @@
+//! bpstool — inspect and convert BPS trace files.
+//!
+//! ```text
+//! bpstool summary <trace>            # all metrics for a trace file
+//! bpstool processes <trace>          # per-process breakdown
+//! bpstool timeline <trace> [ms]      # windowed BPS series (default 100 ms)
+//! bpstool validate <trace>           # sanity-check a trace
+//! bpstool compare <a> <b>            # metrics side by side
+//! bpstool convert <in> <out>         # json <-> binary by extension
+//! ```
+//!
+//! Trace files are `.json` (full fidelity) or `.bpstrc` (the paper's
+//! 32-byte-per-record binary format).
+
+use bps_core::report::MetricsSummary;
+use bps_core::time::Dur;
+use bps_core::trace::Trace;
+use bps_core::window::windowed_series;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load(path: &Path) -> Result<Trace, String> {
+    bps_trace::format::load_path(path).map_err(|e| e.to_string())
+}
+
+fn store(trace: &Trace, path: &Path) -> Result<(), String> {
+    bps_trace::format::store_path(trace, path).map_err(|e| e.to_string())
+}
+
+/// A crude unicode sparkline for the timeline view.
+fn sparkline(values: &[Option<f64>]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    values
+        .iter()
+        .map(|v| match v {
+            None => ' ',
+            Some(x) => BARS[((x / max * 7.0).round() as usize).min(7)],
+        })
+        .collect()
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summary") => {
+            let path = args.get(1).ok_or("summary needs a trace path")?;
+            let trace = load(Path::new(path))?;
+            println!("{} records", trace.len());
+            print!("{}", MetricsSummary::from_trace(&trace));
+            Ok(())
+        }
+        Some("processes") => {
+            let path = args.get(1).ok_or("processes needs a trace path")?;
+            let trace = load(Path::new(path))?;
+            println!(
+                "{:<6} {:>8} {:>14} {:>12} {:>12} {:>12}",
+                "pid", "ops", "bytes", "ARPT(ms)", "io(s)", "BPS"
+            );
+            for row in bps_core::report::per_process(&trace) {
+                println!(
+                    "{:<6} {:>8} {:>14} {:>12.3} {:>12.4} {:>12}",
+                    row.pid.0,
+                    row.ops,
+                    row.bytes,
+                    row.arpt_s * 1e3,
+                    row.io_time_s,
+                    row.bps.map(|b| format!("{b:.0}")).unwrap_or_else(|| "n/a".into()),
+                );
+            }
+            Ok(())
+        }
+        Some("timeline") => {
+            let path = args.get(1).ok_or("timeline needs a trace path")?;
+            let window_ms: u64 = match args.get(2) {
+                Some(w) => w.parse().map_err(|_| "window must be milliseconds")?,
+                None => 100,
+            };
+            let trace = load(Path::new(path))?;
+            let series = windowed_series(&trace, Dur::from_millis(window_ms));
+            println!("windowed BPS, {window_ms} ms windows:");
+            println!("{}", sparkline(&series.iter().map(|p| p.bps).collect::<Vec<_>>()));
+            for p in &series {
+                match p.bps {
+                    Some(b) => println!(
+                        "  {}  {:>12.0} blocks/s  ({} reqs, {} busy)",
+                        p.start, b, p.active_requests, p.io_time
+                    ),
+                    None => println!("  {}  idle", p.start),
+                }
+            }
+            Ok(())
+        }
+        Some("compare") => {
+            let a_path = args.get(1).ok_or("compare needs <a> <b>")?;
+            let b_path = args.get(2).ok_or("compare needs <a> <b>")?;
+            let a = MetricsSummary::from_trace(&load(Path::new(a_path))?);
+            let b = MetricsSummary::from_trace(&load(Path::new(b_path))?);
+            let fmt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "n/a".into());
+            println!("{:<12} {:>16} {:>16} {:>10}", "metric", "A", "B", "B/A");
+            let rows: [(&str, Option<f64>, Option<f64>); 5] = [
+                ("BPS", a.bps, b.bps),
+                ("IOPS", a.iops, b.iops),
+                ("BW(MB/s)", a.bandwidth_mbs, b.bandwidth_mbs),
+                ("ARPT(s)", a.arpt_s, b.arpt_s),
+                ("exec(s)", Some(a.exec_time_s), Some(b.exec_time_s)),
+            ];
+            for (name, av, bv) in rows {
+                let ratio = match (av, bv) {
+                    (Some(x), Some(y)) if x != 0.0 => format!("{:.2}x", y / x),
+                    _ => "-".into(),
+                };
+                println!("{name:<12} {:>16} {:>16} {ratio:>10}", fmt(av), fmt(bv));
+            }
+            Ok(())
+        }
+        Some("validate") => {
+            let path = args.get(1).ok_or("validate needs a trace path")?;
+            let trace = load(Path::new(path))?;
+            let findings = bps_trace::validate::validate(&trace);
+            if findings.is_empty() {
+                println!("clean: {} records, no findings", trace.len());
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+            }
+            if bps_trace::validate::is_usable(&findings) {
+                Ok(())
+            } else {
+                Err("trace has errors".into())
+            }
+        }
+        Some("convert") => {
+            let from = args.get(1).ok_or("convert needs <in> <out>")?;
+            let to = args.get(2).ok_or("convert needs <in> <out>")?;
+            let trace = load(Path::new(from))?;
+            store(&trace, Path::new(to))?;
+            println!("wrote {} records to {to}", trace.len());
+            Ok(())
+        }
+        _ => Err("usage: bpstool <summary|processes|timeline|validate|compare|convert> ...".to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bpstool: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # bps-trace — the BPS measurement toolkit
+//!
+//! The paper's conclusion promises to "make BPS an easy-to-use toolkit and
+//! release it to the public". This crate is that toolkit:
+//!
+//! * [`recorder`] — per-process recording of I/O accesses (paper §III.B
+//!   Step 1), both single-threaded and shared/concurrent variants.
+//! * [`collector`] — gathering all processes' records into the global
+//!   collection (Step 2), including a channel-based streaming collector for
+//!   multi-threaded tracing.
+//! * [`format`] — trace persistence: human-readable JSON and the compact
+//!   32-byte-per-record binary format whose size the paper's overhead
+//!   analysis assumes ("as the size of each record is 32 bytes, even for
+//!   65535 I/O operations, all the records need about 3 megabytes").
+//! * [`realfile`] — [`realfile::TracedFile`], a wrapper around
+//!   [`std::fs::File`] that records every read/write with wall-clock
+//!   timestamps, so the BPS of *real* I/O can be measured, not only
+//!   simulated I/O.
+//! * [`validate`] — sanity checks on loaded traces (coarse clocks,
+//!   impossible overlaps, missing layers) before metrics are trusted.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod collector;
+pub mod format;
+pub mod realfile;
+pub mod recorder;
+pub mod validate;
+
+pub use collector::Collector;
+pub use recorder::{ProcessRecorder, SharedRecorder};

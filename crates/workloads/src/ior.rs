@@ -1,0 +1,145 @@
+//! IOR-like workload generator.
+//!
+//! The paper's Set 3b: "We ran IOR with the MPI-IO interface to access a
+//! shared PVFS2 file ... Each of n MPI processes is responsible for reading
+//! its own 1/n of a 32 GB file. Each process continuously issues requests of
+//! fixed transfer size (64KB) with sequential offsets."
+
+use crate::spec::{AppOp, OpStream, Workload};
+use bps_core::extent::Extent;
+
+/// An IOR run: a shared file partitioned into per-process segments.
+#[derive(Debug, Clone)]
+pub struct Ior {
+    /// Total bytes of the shared file.
+    pub file_size: u64,
+    /// Fixed transfer size per request.
+    pub transfer_size: u64,
+    /// Number of MPI processes.
+    pub processes: usize,
+    /// Write instead of read.
+    pub write: bool,
+}
+
+impl Ior {
+    /// The paper's configuration shape: `n` processes reading a shared file
+    /// with 64 KB transfers.
+    pub fn shared_read(n: usize, file_size: u64) -> Self {
+        Ior {
+            file_size,
+            transfer_size: 64 << 10,
+            processes: n,
+            write: false,
+        }
+    }
+
+    /// The byte range owned by process `pid`.
+    pub fn segment(&self, pid: usize) -> Extent {
+        let n = self.processes as u64;
+        let base = self.file_size / n;
+        let rem = self.file_size % n;
+        let p = pid as u64;
+        // First `rem` processes get one extra byte to cover the remainder.
+        let start = p * base + p.min(rem);
+        let len = base + u64::from(p < rem);
+        Extent::new(start, len)
+    }
+}
+
+impl Workload for Ior {
+    fn name(&self) -> &'static str {
+        "ior"
+    }
+
+    fn processes(&self) -> usize {
+        self.processes
+    }
+
+    fn file_sizes(&self) -> Vec<u64> {
+        vec![self.file_size] // one shared file
+    }
+
+    fn stream(&self, pid: usize) -> OpStream {
+        assert!(pid < self.processes, "pid {pid} out of range");
+        let seg = self.segment(pid);
+        let t = self.transfer_size;
+        let write = self.write;
+        let count = seg.len.div_ceil(t);
+        Box::new((0..count).map(move |i| {
+            let offset = seg.offset + i * t;
+            let len = t.min(seg.end() - offset);
+            let extent = Extent::new(offset, len);
+            if write {
+                AppOp::Write { file: 0, extent }
+            } else {
+                AppOp::Read { file: 0, extent }
+            }
+        }))
+    }
+
+    fn required_bytes(&self) -> u64 {
+        self.file_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_partition_the_file() {
+        for n in [1usize, 3, 7, 32] {
+            let w = Ior::shared_read(n, 1_000_003); // awkward size
+            let mut pos = 0;
+            for pid in 0..n {
+                let seg = w.segment(pid);
+                assert_eq!(seg.offset, pos, "pid {pid}");
+                pos = seg.end();
+            }
+            assert_eq!(pos, 1_000_003);
+        }
+    }
+
+    #[test]
+    fn streams_cover_segments_with_fixed_transfers() {
+        let w = Ior::shared_read(4, 1 << 22);
+        for pid in 0..4 {
+            let seg = w.segment(pid);
+            let mut pos = seg.offset;
+            let mut total = 0;
+            for op in w.stream(pid) {
+                if let AppOp::Read { file, extent } = op {
+                    assert_eq!(file, 0);
+                    assert_eq!(extent.offset, pos);
+                    assert!(extent.len <= 64 << 10);
+                    pos += extent.len;
+                    total += extent.len;
+                }
+            }
+            assert_eq!(total, seg.len);
+        }
+    }
+
+    #[test]
+    fn all_processes_share_one_file() {
+        let w = Ior::shared_read(8, 1 << 20);
+        assert_eq!(w.file_sizes().len(), 1);
+        assert_eq!(w.required_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn write_mode_emits_writes() {
+        let mut w = Ior::shared_read(2, 1 << 20);
+        w.write = true;
+        assert!(matches!(
+            w.stream(0).next().unwrap(),
+            AppOp::Write { .. }
+        ));
+    }
+
+    #[test]
+    fn single_process_owns_everything() {
+        let w = Ior::shared_read(1, 12345);
+        assert_eq!(w.segment(0), Extent::new(0, 12345));
+    }
+}

@@ -1,0 +1,32 @@
+//! # bps-workloads — the paper's benchmark programs as op-stream generators
+//!
+//! The paper drives its four experiment sets with three benchmarks; each is
+//! reproduced here as a pure generator of per-process application operation
+//! streams (no I/O, no simulation — just *what* each process asks for):
+//!
+//! * [`iozone`] — IOzone: sequential/random/backward reads and writes,
+//!   re-read/re-write, configurable record size, single-process mode and
+//!   multi-process throughput mode (one file per process). Drives Sets 1–3a.
+//! * [`ior`] — IOR: N processes share one file; each reads its own 1/N
+//!   segment with fixed-size sequential transfers. Drives Set 3b.
+//! * [`hpio`] — HPIO: noncontiguous accesses described by region count,
+//!   region size and region spacing. Drives Set 4 (data sieving).
+//! * [`synthetic`] — extra generators (uniform random, Zipf hot spots,
+//!   bursty on/off) used by examples and robustness tests.
+//! * [`replay`] — turn a recorded trace back into op streams, so real
+//!   applications can be replayed against simulated configurations.
+//!
+//! Streams are lazy iterators so a 16 GB / 4 KB-record run does not
+//! materialize four million ops up front.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hpio;
+pub mod ior;
+pub mod iozone;
+pub mod replay;
+pub mod spec;
+pub mod synthetic;
+
+pub use spec::{AppOp, OpStream, Workload};

@@ -1,0 +1,40 @@
+//! The paper's Set 3 in miniature: IOR-style shared-file reads with
+//! growing process counts on the simulated 8-server parallel file system.
+//! Watch execution time fall and then saturate while ARPT drifts up —
+//! and BPS track the truth throughout.
+//!
+//! ```text
+//! cargo run --release --example concurrency_scaling
+//! ```
+
+use bps::core::metrics::extended::{EffectiveParallelism, MaxQueueDepth};
+use bps::core::metrics::{Arpt, Bps, Metric};
+use bps::experiments::runner::{run_case, CaseSpec, LayoutPolicy, Storage};
+use bps::workloads::ior::Ior;
+
+fn main() {
+    let total = 64u64 << 20;
+    println!("IOR shared-file read, 64 KB transfers, 8 I/O servers, {total} bytes total\n");
+    println!(
+        "{:>5} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "np", "exec(s)", "ARPT(ms)", "BPS", "EffPar", "MaxQD"
+    );
+    for np in [1usize, 2, 4, 8, 16, 32] {
+        let w = Ior::shared_read(np, total);
+        let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, &w);
+        spec.layout = LayoutPolicy::DefaultStripe;
+        spec.clients = np;
+        let trace = run_case(&spec, 1);
+        println!(
+            "{np:>5} {:>10.3} {:>12.3} {:>12.0} {:>8.2} {:>8.0}",
+            trace.execution_time().as_secs_f64(),
+            Arpt.compute(&trace).unwrap() * 1e3,
+            Bps.compute(&trace).unwrap(),
+            EffectiveParallelism.compute(&trace).unwrap(),
+            MaxQueueDepth.compute(&trace).unwrap(),
+        );
+    }
+    println!("\nEffective parallelism (summed / overlapped I/O time) confirms the");
+    println!("concurrency actually rises; ARPT grows with queueing even while the");
+    println!("application finishes sooner — the paper's Figures 10/11 in one table.");
+}

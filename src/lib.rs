@@ -1,0 +1,27 @@
+//! # bps — workspace facade
+//!
+//! Re-exports the whole BPS reproduction so examples and integration tests
+//! can `use bps::...` without naming individual crates. See the crate-level
+//! docs of each member for details:
+//!
+//! * [`core`] — the BPS metric, interval algebra, metrics, correlation.
+//! * [`sim`] — the discrete-event simulated I/O substrate.
+//! * [`fs`] — local and PVFS2-like striped parallel file systems.
+//! * [`middleware`] — POSIX/MPI-IO layers, data sieving, collective I/O.
+//! * [`workloads`] — IOzone-, IOR- and HPIO-like generators.
+//! * [`trace`] — recorders, collectors, formats, the real-file tracer.
+//! * [`experiments`] — the per-figure reproduction harness.
+
+pub use bps_core as core;
+pub use bps_experiments as experiments;
+pub use bps_fs as fs;
+pub use bps_middleware as middleware;
+pub use bps_sim as sim;
+pub use bps_trace as trace;
+pub use bps_workloads as workloads;
+
+/// One-stop prelude for examples: the core prelude plus the most common
+/// simulator and experiment entry points.
+pub mod prelude {
+    pub use bps_core::prelude::*;
+}

@@ -1,0 +1,64 @@
+//! Determinism and seed-sensitivity of the whole stack: identical seeds
+//! reproduce byte-identical traces, different seeds differ only in timing.
+
+use bps::core::record::Layer;
+use bps::experiments::runner::{run_case, CaseSpec, Storage};
+use bps::workloads::hpio::Hpio;
+use bps::workloads::ior::Ior;
+use bps::workloads::iozone::Iozone;
+
+#[test]
+fn identical_seeds_identical_traces_across_storages() {
+    let w = Iozone::seq_read(8 << 20, 256 << 10);
+    for storage in [Storage::Hdd, Storage::Ssd, Storage::Pvfs { servers: 3 }] {
+        let spec = CaseSpec::new(storage, &w);
+        let a = run_case(&spec, 42);
+        let b = run_case(&spec, 42);
+        assert_eq!(a.records(), b.records(), "{storage:?}");
+        assert_eq!(a.execution_time(), b.execution_time());
+    }
+}
+
+#[test]
+fn different_seeds_same_structure_different_timing() {
+    let w = Ior::shared_read(4, 8 << 20);
+    let mut spec = CaseSpec::new(Storage::Pvfs { servers: 4 }, &w);
+    spec.clients = 4;
+    let a = run_case(&spec, 1);
+    let b = run_case(&spec, 2);
+    // Same request structure...
+    assert_eq!(a.len(), b.len());
+    assert_eq!(
+        a.bytes(Layer::Application),
+        b.bytes(Layer::Application)
+    );
+    assert_eq!(a.bytes(Layer::FileSystem), b.bytes(Layer::FileSystem));
+    // ...different timing.
+    assert_ne!(a.execution_time(), b.execution_time());
+}
+
+#[test]
+fn hpio_sieving_structure_deterministic() {
+    let w = Hpio::paper_shape(1024, 512, 2);
+    let mut spec = CaseSpec::new(Storage::Pvfs { servers: 2 }, &w);
+    spec.clients = 2;
+    let a = run_case(&spec, 9);
+    let b = run_case(&spec, 9);
+    assert_eq!(a.records(), b.records());
+    // Sieving moved the same (hole-inflated) volume both times.
+    assert!(a.bytes(Layer::FileSystem) > a.bytes(Layer::Application));
+}
+
+#[test]
+fn seed_variation_is_bounded() {
+    // 5-run averaging only makes sense if the jitter is a few percent, not
+    // a few x.
+    let w = Iozone::seq_read(8 << 20, 512 << 10);
+    let spec = CaseSpec::new(Storage::Hdd, &w);
+    let times: Vec<f64> = (1..=5)
+        .map(|s| run_case(&spec, s).execution_time().as_secs_f64())
+        .collect();
+    let min = times.iter().cloned().fold(f64::MAX, f64::min);
+    let max = times.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(max / min < 1.25, "{times:?}");
+}
