@@ -8,9 +8,9 @@ use bps_experiments::runner::{run_case, CaseSpec, LayoutPolicy, Storage};
 use bps_fs::cluster::{Cluster, ClusterConfig, DeviceSpec};
 use bps_middleware::sieving::SievingConfig;
 use bps_sim::cache::PageCache;
+use bps_sim::device::hdd::Hdd;
 use bps_sim::device::hdd::HddProfile;
 use bps_sim::device::{Device, DeviceReq, DiskSched};
-use bps_sim::device::hdd::Hdd;
 use bps_sim::rng::{Jitter, SimRng};
 use bps_workloads::hpio::Hpio;
 use bps_workloads::iozone::Iozone;
@@ -75,7 +75,9 @@ fn disk_sched_ablation(c: &mut Criterion) {
     };
     let mut g = c.benchmark_group("disk_sched_ablation");
     g.bench_function("fifo", |b| b.iter(|| black_box(run(DiskSched::Fifo))));
-    g.bench_function("elevator", |b| b.iter(|| black_box(run(DiskSched::Elevator))));
+    g.bench_function("elevator", |b| {
+        b.iter(|| black_box(run(DiskSched::Elevator)))
+    });
     // Sanity once per run: the elevator must win on simulated time.
     assert!(run(DiskSched::Elevator) < run(DiskSched::Fifo));
     g.finish();
@@ -93,30 +95,34 @@ fn stripe_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("stripe_ablation");
     g.sample_size(10);
     for &stripe in &[16u64 << 10, 64 << 10, 256 << 10, 1 << 20] {
-        g.bench_with_input(BenchmarkId::from_parameter(stripe >> 10), &stripe, |b, &stripe| {
-            b.iter(|| {
-                let w = Iozone::seq_read(16 << 20, 1 << 20);
-                let cluster = Cluster::new(&ClusterConfig {
-                    servers: 4,
-                    clients: 1,
-                    device: DeviceSpec::Hdd(HddProfile::sata_7200_250gb()),
-                    sched: DiskSched::Fifo,
-                    server_cpu: Dur::from_micros(25),
-                    jitter: Jitter::NONE,
-                    seed: 1,
-                    record_device_layer: false,
-                });
-                let mut pfs = ParallelFs::new(4);
-                let files: Vec<FileId> = w
-                    .file_sizes()
-                    .iter()
-                    .map(|&s| pfs.create(s, StripeLayout::new(stripe, vec![0, 1, 2, 3])))
-                    .collect();
-                let stack = IoStack::new(cluster, FsBackend::Parallel(pfs));
-                let (trace, _) = run_workload(stack, &w, &files, Dur::from_micros(5));
-                black_box(trace.execution_time())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(stripe >> 10),
+            &stripe,
+            |b, &stripe| {
+                b.iter(|| {
+                    let w = Iozone::seq_read(16 << 20, 1 << 20);
+                    let cluster = Cluster::new(&ClusterConfig {
+                        servers: 4,
+                        clients: 1,
+                        device: DeviceSpec::Hdd(HddProfile::sata_7200_250gb()),
+                        sched: DiskSched::Fifo,
+                        server_cpu: Dur::from_micros(25),
+                        jitter: Jitter::NONE,
+                        seed: 1,
+                        record_device_layer: false,
+                    });
+                    let mut pfs = ParallelFs::new(4);
+                    let files: Vec<FileId> = w
+                        .file_sizes()
+                        .iter()
+                        .map(|&s| pfs.create(s, StripeLayout::new(stripe, vec![0, 1, 2, 3])))
+                        .collect();
+                    let stack = IoStack::new(cluster, FsBackend::Parallel(pfs));
+                    let (trace, _) = run_workload(stack, &w, &files, Dur::from_micros(5));
+                    black_box(trace.execution_time())
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -28,7 +28,9 @@ fn bench_experiment_figures(c: &mut Criterion) {
     let scale = Scale::tiny();
     let mut g = c.benchmark_group("figures_tiny_scale");
     g.sample_size(10);
-    g.bench_function("fig04_devices", |b| b.iter(|| black_box(fig04::run(&scale))));
+    g.bench_function("fig04_devices", |b| {
+        b.iter(|| black_box(fig04::run(&scale)))
+    });
     g.bench_function("fig05_sizes_hdd", |b| {
         b.iter(|| black_box(fig05::run(&scale)))
     });
@@ -48,7 +50,9 @@ fn bench_experiment_figures(c: &mut Criterion) {
         b.iter(|| black_box(fig10::run(&scale)))
     });
     g.bench_function("fig11_ior", |b| b.iter(|| black_box(fig11::run(&scale))));
-    g.bench_function("fig12_sieving", |b| b.iter(|| black_box(fig12::run(&scale))));
+    g.bench_function("fig12_sieving", |b| {
+        b.iter(|| black_box(fig12::run(&scale)))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("summary");
@@ -59,5 +63,9 @@ fn bench_experiment_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tables_and_concept_figures, bench_experiment_figures);
+criterion_group!(
+    benches,
+    bench_tables_and_concept_figures,
+    bench_experiment_figures
+);
 criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Streaming-pipeline throughput: folding a synthetic million-record
+//! stream into constant-size accumulators, against the materialize-then-
+//! compute baseline it replaces. The streaming path never holds more than
+//! one record (plus the O(busy periods) interval union), which is what
+//! lets the paper's "overlapped with data accesses" claim hold at scale.
+
+use bps_bench::{random_trace, synthetic_records};
+use bps_core::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
+use bps_core::sink::{RecordSink, StreamingMetrics};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Stream length: past the paper's 65 535-op example by 15x.
+const N: usize = 1_000_000;
+
+fn bench_streaming_fold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_1m_records");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    // Generate + fold, no trace ever materialized.
+    g.bench_function("fold_stream", |b| {
+        b.iter(|| {
+            let mut m = StreamingMetrics::new();
+            for r in synthetic_records(N, 11) {
+                m.on_record(black_box(&r));
+            }
+            (m.bps(), m.iops(), m.bandwidth(), m.arpt())
+        })
+    });
+    // Generate + materialize + compute: the pre-streaming pipeline.
+    g.bench_function("materialize_then_compute", |b| {
+        b.iter(|| {
+            let trace = random_trace(N, 11);
+            (
+                Bps.compute(black_box(&trace)),
+                Iops.compute(&trace),
+                Bandwidth.compute(&trace),
+                Arpt.compute(&trace),
+            )
+        })
+    });
+    g.finish();
+}
+
+/// The online union alone, on the same arrival pattern.
+fn bench_online_union(c: &mut Criterion) {
+    use bps_core::interval::{union_time, OnlineUnion};
+    let mut g = c.benchmark_group("online_union_1m");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("online_insert", |b| {
+        b.iter(|| {
+            let mut u = OnlineUnion::new();
+            for r in synthetic_records(N, 13) {
+                u.insert(black_box(r.interval()));
+            }
+            u.total()
+        })
+    });
+    g.bench_function("collect_then_sweep", |b| {
+        b.iter(|| union_time(synthetic_records(N, 13).map(|r| r.interval())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming_fold, bench_online_union);
+criterion_main!(benches);

@@ -35,24 +35,34 @@ pub fn random_intervals(n: usize, seed: u64) -> Vec<Interval> {
         .collect()
 }
 
-/// A synthetic multi-process application trace with `n` records.
-pub fn random_trace(n: usize, seed: u64) -> Trace {
+/// A lazy synthetic multi-process application record stream — one record
+/// at a time, nothing materialized, so streaming observers can be fed
+/// arbitrarily long streams in constant space.
+pub fn synthetic_records(n: usize, seed: u64) -> impl Iterator<Item = IoRecord> {
     let mut rng = SimRng::seed_from_u64(seed);
-    let mut trace = Trace::new();
     let mut clocks = [0u64; 4];
-    for i in 0..n {
+    (0..n).map(move |i| {
         let pid = (i % 4) as u32;
         let start = clocks[pid as usize] + rng.below(50_000);
         let dur = 10_000 + rng.below(500_000);
         clocks[pid as usize] = start + dur;
-        trace.push(IoRecord::app_read(
+        IoRecord::app_read(
             ProcessId(pid),
             FileId(0),
             i as u64 * 65536,
             4096 + rng.below(1 << 20),
             Nanos(start),
             Nanos(start + dur),
-        ));
+        )
+    })
+}
+
+/// A synthetic multi-process application trace with `n` records (the
+/// materialized form of [`synthetic_records`]).
+pub fn random_trace(n: usize, seed: u64) -> Trace {
+    let mut trace = Trace::new();
+    for r in synthetic_records(n, seed) {
+        trace.push(r);
     }
     trace
 }

@@ -144,7 +144,11 @@ pub fn normalized_cc(
 ) -> Result<CcOutcome, CoreError> {
     let raw = pearson(metric_values, exec_times)?;
     let direction_correct = raw * expected.sign() >= 0.0;
-    let normalized = if direction_correct { raw.abs() } else { -raw.abs() };
+    let normalized = if direction_correct {
+        raw.abs()
+    } else {
+        -raw.abs()
+    };
     Ok(CcOutcome {
         raw,
         normalized,

@@ -287,6 +287,87 @@ impl IntervalSet {
     }
 }
 
+/// Online interval union: maintains the measure of the union *as intervals
+/// arrive*, without materializing and re-sweeping the whole set.
+///
+/// The streaming counterpart of [`union_time`]: after any sequence of
+/// [`OnlineUnion::insert`] calls, [`OnlineUnion::total`] equals
+/// `union_time` over the same intervals — exactly, since both work in
+/// integer nanoseconds. Requests completing in nondecreasing start order
+/// (the common case when fed from a simulation or a live recorder) take the
+/// O(1) fast path: they either extend the rightmost span or open a new one.
+/// Out-of-order arrivals fall back to a binary search + splice, like
+/// [`IntervalSet::insert`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OnlineUnion {
+    spans: Vec<Interval>,
+    total: Dur,
+}
+
+impl OnlineUnion {
+    /// An empty union.
+    pub fn new() -> Self {
+        OnlineUnion::default()
+    }
+
+    /// Add one interval, merging it into the maintained union.
+    pub fn insert(&mut self, iv: Interval) {
+        // Fast paths against the rightmost span.
+        match self.spans.last_mut() {
+            None => {
+                self.total += iv.duration();
+                self.spans.push(iv);
+                return;
+            }
+            Some(last) if iv.start > last.end => {
+                self.total += iv.duration();
+                self.spans.push(iv);
+                return;
+            }
+            Some(last) if iv.start >= last.start => {
+                if iv.end > last.end {
+                    self.total += iv.end - last.end;
+                    last.end = iv.end;
+                }
+                return;
+            }
+            _ => {}
+        }
+        // General path: merge with every overlapping or touching span.
+        let first = self.spans.partition_point(|s| s.end < iv.start);
+        let mut merged = iv;
+        let mut displaced = Dur::ZERO;
+        let mut last = first;
+        while last < self.spans.len() && self.spans[last].start <= merged.end {
+            displaced += self.spans[last].duration();
+            merged = merged.hull(&self.spans[last]);
+            last += 1;
+        }
+        self.total = self.total - displaced + merged.duration();
+        self.spans.splice(first..last, std::iter::once(merged));
+    }
+
+    /// The measure of the union so far.
+    pub fn total(&self) -> Dur {
+        self.total
+    }
+
+    /// Number of disjoint busy periods so far.
+    pub fn period_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True before any insert.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The disjoint, ascending spans of the union.
+    pub fn spans(&self) -> &[Interval] {
+        &self.spans
+    }
+}
+
 /// A step in the concurrency (queue-depth) timeline: from `at` until the
 /// next step, exactly `depth` requests are in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]

@@ -52,6 +52,7 @@ pub mod interval;
 pub mod metrics;
 pub mod record;
 pub mod report;
+pub mod sink;
 pub mod time;
 pub mod trace;
 pub mod window;
@@ -61,11 +62,12 @@ pub mod prelude {
     pub use crate::block::{blocks_for_bytes, BLOCK_SIZE};
     pub use crate::correlation::{normalized_cc, pearson, CcOutcome};
     pub use crate::extent::Extent;
-    pub use crate::interval::{union_time, Interval, IntervalSet};
+    pub use crate::interval::{union_time, Interval, IntervalSet, OnlineUnion};
     pub use crate::metrics::{Arpt, Bandwidth, Bps, Direction, Iops, Metric};
     pub use crate::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
     pub use crate::report::MetricsSummary;
+    pub use crate::sink::{RecordSink, StreamingMetrics};
     pub use crate::time::{Dur, Nanos};
-    pub use crate::window::windowed_series;
     pub use crate::trace::Trace;
+    pub use crate::window::windowed_series;
 }

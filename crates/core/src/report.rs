@@ -1,7 +1,9 @@
 //! Human-readable summaries of traces and correlation sweeps.
 
 use crate::correlation::CcOutcome;
-use crate::metrics::extended::{EffectiveParallelism, IoEfficiency, LatencyPercentile, MaxQueueDepth};
+use crate::metrics::extended::{
+    EffectiveParallelism, IoEfficiency, LatencyPercentile, MaxQueueDepth,
+};
 use crate::metrics::{paper_metrics, Metric};
 use crate::record::Layer;
 use crate::trace::Trace;
@@ -82,7 +84,12 @@ impl fmt::Display for MetricsSummary {
         writeln!(f, "  IOPS       : {} ops/s", fmt_opt(self.iops))?;
         writeln!(f, "  Bandwidth  : {} MB/s", fmt_opt(self.bandwidth_mbs))?;
         writeln!(f, "  ARPT       : {} s", fmt_opt(self.arpt_s))?;
-        writeln!(f, "  P50 / P99  : {} / {} s", fmt_opt(self.p50_s), fmt_opt(self.p99_s))?;
+        writeln!(
+            f,
+            "  P50 / P99  : {} / {} s",
+            fmt_opt(self.p50_s),
+            fmt_opt(self.p99_s)
+        )?;
         writeln!(
             f,
             "  EffPar     : {}   IOEff: {}   MaxQD: {}",
@@ -132,10 +139,7 @@ pub fn per_process(trace: &Trace) -> Vec<ProcessBreakdown> {
             let records: Vec<_> = trace.process(Layer::Application, pid).collect();
             let ops = records.len() as u64;
             let bytes = records.iter().map(|r| r.bytes).sum();
-            let summed: f64 = records
-                .iter()
-                .map(|r| r.duration().as_secs_f64())
-                .sum();
+            let summed: f64 = records.iter().map(|r| r.duration().as_secs_f64()).sum();
             let io_time = crate::interval::union_time(records.iter().map(|r| r.interval()));
             let blocks: u64 = records.iter().map(|r| r.blocks()).sum();
             let io_time_s = io_time.as_secs_f64();
@@ -177,7 +181,10 @@ impl CcReport {
     /// `cases` holds the trace of each I/O access case in the sweep; the
     /// execution time of each case comes from [`Trace::execution_time`].
     pub fn from_cases(label: impl Into<String>, cases: &[Trace]) -> CcReport {
-        let exec: Vec<f64> = cases.iter().map(|t| t.execution_time().as_secs_f64()).collect();
+        let exec: Vec<f64> = cases
+            .iter()
+            .map(|t| t.execution_time().as_secs_f64())
+            .collect();
         let rows = paper_metrics()
             .iter()
             .map(|m| {
@@ -218,7 +225,11 @@ impl fmt::Display for CcReport {
                     row.metric,
                     o.normalized,
                     o.raw,
-                    if o.direction_correct { "correct" } else { "WRONG" }
+                    if o.direction_correct {
+                        "correct"
+                    } else {
+                        "WRONG"
+                    }
                 )?,
                 None => writeln!(f, "  {:<7}      n/a      n/a   -", row.metric)?,
             }
@@ -296,16 +307,28 @@ mod tests {
         let mut tr = Trace::new();
         // pid 0: two sequential 1 MiB reads; pid 1: one concurrent read.
         tr.push(IoRecord::app_read(
-            ProcessId(0), FileId(0), 0, 1 << 20,
-            Nanos::ZERO, Nanos::from_millis(10),
+            ProcessId(0),
+            FileId(0),
+            0,
+            1 << 20,
+            Nanos::ZERO,
+            Nanos::from_millis(10),
         ));
         tr.push(IoRecord::app_read(
-            ProcessId(0), FileId(0), 1 << 20, 1 << 20,
-            Nanos::from_millis(10), Nanos::from_millis(20),
+            ProcessId(0),
+            FileId(0),
+            1 << 20,
+            1 << 20,
+            Nanos::from_millis(10),
+            Nanos::from_millis(20),
         ));
         tr.push(IoRecord::app_read(
-            ProcessId(1), FileId(0), 2 << 20, 1 << 20,
-            Nanos::ZERO, Nanos::from_millis(5),
+            ProcessId(1),
+            FileId(0),
+            2 << 20,
+            1 << 20,
+            Nanos::ZERO,
+            Nanos::from_millis(5),
         ));
         let rows = per_process(&tr);
         assert_eq!(rows.len(), 2);

@@ -1,0 +1,284 @@
+//! Streaming record observers.
+//!
+//! The paper notes the BPS calculation "can be overlapped with data
+//! accesses": nothing in `B / T` requires holding the full trace. A
+//! [`RecordSink`] receives each [`IoRecord`] as the access completes;
+//! [`Trace`] implements it by materializing records as before, while
+//! [`StreamingMetrics`] folds each record into constant-size accumulators
+//! — per-layer counts, byte/block sums, summed response time, and an
+//! [`OnlineUnion`] for the overlapped time — and reproduces the four paper
+//! metrics bit-for-bit without ever storing a record.
+
+use crate::interval::OnlineUnion;
+use crate::record::{IoRecord, Layer};
+use crate::time::{Dur, Nanos};
+use crate::trace::Trace;
+
+/// Observer fed one record per completed I/O access.
+///
+/// Implementations must not assume records arrive sorted: layers interleave
+/// and concurrent processes complete out of order. They *may* exploit that
+/// start times are usually nondecreasing (as [`OnlineUnion`] does).
+pub trait RecordSink {
+    /// Observe one completed access.
+    fn on_record(&mut self, record: &IoRecord);
+
+    /// Observe the application execution time measured alongside the run.
+    /// Called at most once, after the last record. The default ignores it.
+    fn on_execution_time(&mut self, t: Dur) {
+        let _ = t;
+    }
+}
+
+impl RecordSink for Trace {
+    fn on_record(&mut self, record: &IoRecord) {
+        self.push(*record);
+    }
+
+    fn on_execution_time(&mut self, t: Dur) {
+        self.set_execution_time(t);
+    }
+}
+
+/// Fan one record stream out to two sinks (e.g. metrics plus a debug
+/// trace).
+#[derive(Debug, Clone, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: RecordSink, B: RecordSink> RecordSink for Tee<A, B> {
+    fn on_record(&mut self, record: &IoRecord) {
+        self.0.on_record(record);
+        self.1.on_record(record);
+    }
+
+    fn on_execution_time(&mut self, t: Dur) {
+        self.0.on_execution_time(t);
+        self.1.on_execution_time(t);
+    }
+}
+
+/// Constant-size accumulator for one observation layer.
+#[derive(Debug, Clone, Default)]
+struct LayerAcc {
+    ops: u64,
+    bytes: u64,
+    blocks: u64,
+    summed: Dur,
+    union: OnlineUnion,
+}
+
+impl LayerAcc {
+    fn observe(&mut self, r: &IoRecord) {
+        self.ops += 1;
+        self.bytes += r.bytes;
+        self.blocks += r.blocks();
+        self.summed += r.duration();
+        self.union.insert(r.interval());
+    }
+}
+
+/// Incremental computation of the four paper metrics.
+///
+/// Equivalent to collecting a [`Trace`] and calling
+/// `Bps/Iops/Bandwidth/Arpt::compute` on it, but in O(1) space per record
+/// (amortized; the interval union keeps one entry per disjoint busy
+/// period). Every accumulator is integer-valued (counts, bytes, blocks,
+/// nanoseconds), so the final floating-point divisions see exactly the
+/// operands the trace-based path computes: results are bit-for-bit equal,
+/// not merely close.
+#[derive(Debug, Clone, Default)]
+pub struct StreamingMetrics {
+    app: LayerAcc,
+    fs: LayerAcc,
+    device_ops: u64,
+    first_start: Option<Nanos>,
+    last_end: Option<Nanos>,
+    exec_time: Option<Dur>,
+    records: u64,
+}
+
+impl StreamingMetrics {
+    /// Fresh, empty accumulators.
+    pub fn new() -> Self {
+        StreamingMetrics::default()
+    }
+
+    /// `BPS = B / T` (equation (1)): application blocks over overlapped
+    /// application I/O time. `None` on an empty or zero-time stream.
+    pub fn bps(&self) -> Option<f64> {
+        let t = self.app.union.total();
+        if self.app.ops == 0 || t.is_zero() {
+            return None;
+        }
+        Some(self.app.blocks as f64 / t.as_secs_f64())
+    }
+
+    /// Application operations over overlapped application I/O time.
+    pub fn iops(&self) -> Option<f64> {
+        let t = self.app.union.total();
+        if self.app.ops == 0 || t.is_zero() {
+            return None;
+        }
+        Some(self.app.ops as f64 / t.as_secs_f64())
+    }
+
+    /// Bytes moved through the file system over overlapped FS I/O time, in
+    /// MB/s; falls back to the application layer when the FS layer was not
+    /// instrumented, exactly like the trace-based metric.
+    pub fn bandwidth(&self) -> Option<f64> {
+        let layer = if self.fs.ops > 0 { &self.fs } else { &self.app };
+        let t = layer.union.total();
+        if layer.ops == 0 || t.is_zero() {
+            return None;
+        }
+        Some(layer.bytes as f64 / 1e6 / t.as_secs_f64())
+    }
+
+    /// Average response time per application operation, seconds.
+    pub fn arpt(&self) -> Option<f64> {
+        if self.app.ops == 0 {
+            return None;
+        }
+        Some(self.app.summed.as_secs_f64() / self.app.ops as f64)
+    }
+
+    /// Application execution time: the explicitly observed value if any,
+    /// otherwise the wall span over all records (all layers), as
+    /// [`Trace::execution_time`] defines it.
+    pub fn execution_time(&self) -> Dur {
+        self.exec_time
+            .unwrap_or(match (self.first_start, self.last_end) {
+                (Some(s), Some(e)) => e - s,
+                _ => Dur::ZERO,
+            })
+    }
+
+    /// Overlapped I/O time at a layer (the `T` of equation (1) when
+    /// `layer` is `Application`). Zero for `Device`: the streaming path
+    /// tracks the layers the metrics read.
+    pub fn overlapped_io_time(&self, layer: Layer) -> Dur {
+        match layer {
+            Layer::Application => self.app.union.total(),
+            Layer::FileSystem => self.fs.union.total(),
+            Layer::Device => Dur::ZERO,
+        }
+    }
+
+    /// Records observed at a layer.
+    pub fn op_count(&self, layer: Layer) -> u64 {
+        match layer {
+            Layer::Application => self.app.ops,
+            Layer::FileSystem => self.fs.ops,
+            Layer::Device => self.device_ops,
+        }
+    }
+
+    /// Total records observed across all layers.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// True before the first record.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Application blocks observed so far (the `B` of equation (1)).
+    pub fn app_blocks(&self) -> u64 {
+        self.app.blocks
+    }
+}
+
+impl RecordSink for StreamingMetrics {
+    fn on_record(&mut self, record: &IoRecord) {
+        self.records += 1;
+        self.first_start = Some(match self.first_start {
+            Some(s) => s.min(record.start),
+            None => record.start,
+        });
+        self.last_end = Some(match self.last_end {
+            Some(e) => e.max(record.end),
+            None => record.end,
+        });
+        match record.layer {
+            Layer::Application => self.app.observe(record),
+            Layer::FileSystem => self.fs.observe(record),
+            Layer::Device => self.device_ops += 1,
+        }
+    }
+
+    fn on_execution_time(&mut self, t: Dur) {
+        self.exec_time = Some(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
+    use crate::record::{FileId, IoOp, ProcessId};
+
+    fn rec(pid: u32, layer: Layer, bytes: u64, s_us: u64, e_us: u64) -> IoRecord {
+        IoRecord::new(
+            ProcessId(pid),
+            IoOp::Read,
+            FileId(0),
+            0,
+            bytes,
+            Nanos::from_micros(s_us),
+            Nanos::from_micros(e_us),
+            layer,
+        )
+    }
+
+    fn cross_check(records: &[IoRecord]) {
+        let mut trace = Trace::new();
+        let mut stream = StreamingMetrics::new();
+        for r in records {
+            trace.on_record(r);
+            stream.on_record(r);
+        }
+        assert_eq!(Bps.compute(&trace), stream.bps());
+        assert_eq!(Iops.compute(&trace), stream.iops());
+        assert_eq!(Bandwidth.compute(&trace), stream.bandwidth());
+        assert_eq!(Arpt.compute(&trace), stream.arpt());
+        assert_eq!(trace.execution_time(), stream.execution_time());
+    }
+
+    #[test]
+    fn matches_trace_on_layered_stream() {
+        cross_check(&[
+            rec(0, Layer::Application, 4096, 0, 40),
+            rec(0, Layer::FileSystem, 8192, 5, 35),
+            rec(1, Layer::Application, 512, 20, 90),
+            rec(1, Layer::Device, 512, 25, 60),
+            rec(0, Layer::Application, 1 << 20, 200, 900),
+        ]);
+    }
+
+    #[test]
+    fn matches_trace_on_empty_and_degenerate_streams() {
+        cross_check(&[]);
+        // Zero-duration record: BPS/IOPS None, ARPT Some(0).
+        cross_check(&[rec(0, Layer::Application, 512, 5, 5)]);
+    }
+
+    #[test]
+    fn explicit_execution_time_wins() {
+        let mut s = StreamingMetrics::new();
+        s.on_record(&rec(0, Layer::Application, 512, 0, 10));
+        s.on_execution_time(Dur::from_micros(1234));
+        assert_eq!(s.execution_time(), Dur::from_micros(1234));
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut tee = Tee(Trace::new(), StreamingMetrics::new());
+        let r = rec(0, Layer::Application, 2048, 0, 30);
+        tee.on_record(&r);
+        tee.on_execution_time(Dur::from_micros(30));
+        assert_eq!(tee.0.len(), 1);
+        assert_eq!(tee.1.len(), 1);
+        assert_eq!(Bps.compute(&tee.0), tee.1.bps());
+    }
+}

@@ -173,11 +173,7 @@ impl Trace {
     /// A new trace containing only records of the given op at a layer.
     pub fn filter_op(&self, layer: Layer, op: IoOp) -> Trace {
         Trace {
-            records: self
-                .layer(layer)
-                .filter(|r| r.op == op)
-                .copied()
-                .collect(),
+            records: self.layer(layer).filter(|r| r.op == op).copied().collect(),
             exec_time: self.exec_time,
         }
     }
@@ -270,7 +266,10 @@ mod tests {
         assert_eq!(a.pids(Layer::Application), vec![ProcessId(0), ProcessId(1)]);
         assert_eq!(a.execution_time(), Dur::from_micros(30));
         // Idle gap [10,20) excluded from overlapped time.
-        assert_eq!(a.overlapped_io_time(Layer::Application), Dur::from_micros(20));
+        assert_eq!(
+            a.overlapped_io_time(Layer::Application),
+            Dur::from_micros(20)
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Property tests for the overlapped-time algebra — the heart of BPS.
 
-use bps_core::interval::{
-    paper_union_time, union_time, ConcurrencyProfile, Interval, IntervalSet,
-};
+use bps_core::interval::{paper_union_time, union_time, ConcurrencyProfile, Interval, IntervalSet};
 use bps_core::time::{Dur, Nanos};
 use proptest::prelude::*;
 

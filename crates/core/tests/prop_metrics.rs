@@ -10,7 +10,8 @@ use proptest::prelude::*;
 /// A random application-layer trace: per process, a chain of reads with
 /// random sizes, durations, and idle gaps.
 fn app_trace() -> impl Strategy<Value = Trace> {
-    let per_process = proptest::collection::vec((1u64..1_000_000, 1u64..50_000, 0u64..50_000), 1..40);
+    let per_process =
+        proptest::collection::vec((1u64..1_000_000, 1u64..50_000, 0u64..50_000), 1..40);
     proptest::collection::vec(per_process, 1..5).prop_map(|procs| {
         let mut trace = Trace::new();
         for (pid, ops) in procs.into_iter().enumerate() {

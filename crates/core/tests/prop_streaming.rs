@@ -1,0 +1,127 @@
+//! Property tests: the streaming observer path is *exactly* the
+//! materialize-then-compute path — bit-for-bit, not approximately.
+
+use bps_core::interval::{union_time, Interval, OnlineUnion};
+use bps_core::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
+use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
+use bps_core::sink::{RecordSink, StreamingMetrics};
+use bps_core::time::{Dur, Nanos};
+use bps_core::trace::Trace;
+use proptest::prelude::*;
+
+/// Random records across all three layers, arbitrary overlap and order.
+fn records() -> impl Strategy<Value = Vec<IoRecord>> {
+    let one = (
+        0u32..4,
+        0u64..1_000_000,
+        0u64..200_000,
+        1u64..1_000_000,
+        0usize..6,
+    )
+        .prop_map(|(pid, start, len, bytes, shape)| {
+            let layer = match shape % 3 {
+                0 => Layer::Application,
+                1 => Layer::FileSystem,
+                _ => Layer::Device,
+            };
+            let op = if shape < 3 { IoOp::Read } else { IoOp::Write };
+            IoRecord::new(
+                ProcessId(pid),
+                op,
+                FileId(pid),
+                0,
+                bytes,
+                Nanos(start),
+                Nanos(start + len),
+                layer,
+            )
+        });
+    proptest::collection::vec(one, 0..60)
+}
+
+fn bits(v: Option<f64>) -> Option<u64> {
+    v.map(f64::to_bits)
+}
+
+proptest! {
+    /// All four metrics and the execution time agree bit-for-bit between
+    /// the streaming accumulators and the materialized trace, on streams
+    /// mixing layers, concurrency, and out-of-order completions.
+    #[test]
+    fn streaming_equals_materialized(recs in records()) {
+        let mut trace = Trace::new();
+        let mut stream = StreamingMetrics::new();
+        for r in &recs {
+            trace.on_record(r);
+            stream.on_record(r);
+        }
+        prop_assert_eq!(bits(Bps.compute(&trace)), bits(stream.bps()));
+        prop_assert_eq!(bits(Iops.compute(&trace)), bits(stream.iops()));
+        prop_assert_eq!(bits(Bandwidth.compute(&trace)), bits(stream.bandwidth()));
+        prop_assert_eq!(bits(Arpt.compute(&trace)), bits(stream.arpt()));
+        prop_assert_eq!(trace.execution_time(), stream.execution_time());
+        prop_assert_eq!(trace.op_count(Layer::Application), stream.op_count(Layer::Application));
+        prop_assert_eq!(trace.op_count(Layer::FileSystem), stream.op_count(Layer::FileSystem));
+        prop_assert_eq!(trace.op_count(Layer::Device), stream.op_count(Layer::Device));
+        prop_assert_eq!(trace.app_blocks(), stream.app_blocks());
+        prop_assert_eq!(
+            trace.overlapped_io_time(Layer::Application),
+            stream.overlapped_io_time(Layer::Application)
+        );
+    }
+
+    /// An explicitly observed execution time takes precedence identically
+    /// on both paths.
+    #[test]
+    fn streaming_execution_time_override(recs in records(), exec_ns in 1u64..10_000_000) {
+        let mut trace = Trace::new();
+        let mut stream = StreamingMetrics::new();
+        for r in &recs {
+            trace.on_record(r);
+            stream.on_record(r);
+        }
+        trace.on_execution_time(Dur(exec_ns));
+        stream.on_execution_time(Dur(exec_ns));
+        prop_assert_eq!(trace.execution_time(), stream.execution_time());
+        prop_assert_eq!(stream.execution_time(), Dur(exec_ns));
+    }
+
+    /// The online union equals the sort-and-sweep union after every single
+    /// insert, under arbitrary (not just nondecreasing) arrival order.
+    #[test]
+    fn online_union_equals_sweep(ivs in proptest::collection::vec(
+        (0u64..1_000_000, 0u64..100_000), 0..64
+    )) {
+        let ivs: Vec<Interval> = ivs
+            .into_iter()
+            .map(|(s, l)| Interval::new(Nanos(s), Nanos(s + l)))
+            .collect();
+        let mut online = OnlineUnion::new();
+        for (i, iv) in ivs.iter().enumerate() {
+            online.insert(*iv);
+            let sweep = union_time(ivs[..=i].iter().copied());
+            prop_assert_eq!(online.total(), sweep, "after insert {}", i);
+        }
+        // Spans come out disjoint and ascending.
+        let spans = online.spans();
+        prop_assert!(spans.windows(2).all(|w| w[0].end < w[1].start));
+    }
+
+    /// Nondecreasing arrivals — the streaming fast path — never touch the
+    /// splice fallback's invariants either: totals still match the sweep.
+    #[test]
+    fn online_union_sorted_arrivals(ivs in proptest::collection::vec(
+        (0u64..1_000_000, 0u64..100_000), 1..64
+    )) {
+        let mut ivs: Vec<Interval> = ivs
+            .into_iter()
+            .map(|(s, l)| Interval::new(Nanos(s), Nanos(s + l)))
+            .collect();
+        ivs.sort_unstable_by_key(|iv| (iv.start, iv.end));
+        let mut online = OnlineUnion::new();
+        for iv in &ivs {
+            online.insert(*iv);
+        }
+        prop_assert_eq!(online.total(), union_time(ivs.iter().copied()));
+    }
+}

@@ -7,11 +7,11 @@
 //! reproduce all --paper    # the paper's full data volumes (slow)
 //! ```
 
-use bps_experiments::figures::{
-    extensions, overhead, writes, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
-    fig12, summary, tables,
-};
 use bps_experiments::export;
+use bps_experiments::figures::{
+    extensions, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12,
+    overhead, summary, tables, writes,
+};
 use bps_experiments::scale::Scale;
 use std::path::PathBuf;
 
@@ -54,8 +54,24 @@ fn main() {
     }
 
     let all = [
-        "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-        "fig9", "fig10", "fig11", "fig12", "summary", "extensions", "overhead", "writes",
+        "table1",
+        "table2",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "summary",
+        "extensions",
+        "overhead",
+        "writes",
     ];
     let expanded: Vec<&str> = if targets.iter().any(|t| t == "all") {
         all.to_vec()
@@ -65,15 +81,15 @@ fn main() {
 
     let export_cc = |name: &str, fig: &bps_experiments::figures::common::CcFigure| {
         if let Some(dir) = &csv_dir {
-            let path = export::write_csv(dir, name, &export::cc_figure_csv(fig))
-                .expect("write csv");
+            let path =
+                export::write_csv(dir, name, &export::cc_figure_csv(fig)).expect("write csv");
             eprintln!("wrote {}", path.display());
         }
     };
     let export_detail = |name: &str, s: &bps_experiments::figures::common::DetailSeries| {
         if let Some(dir) = &csv_dir {
-            let path = export::write_csv(dir, name, &export::detail_series_csv(s))
-                .expect("write csv");
+            let path =
+                export::write_csv(dir, name, &export::detail_series_csv(s)).expect("write csv");
             eprintln!("wrote {}", path.display());
         }
     };

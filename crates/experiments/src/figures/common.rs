@@ -25,7 +25,10 @@ impl CcFigure {
         let rows = paper_metrics()
             .iter()
             .map(|m| {
-                let values: Vec<f64> = cases.iter().map(|c| c.metric(m.name())).collect();
+                let values: Vec<f64> = cases
+                    .iter()
+                    .map(|c| c.metric(m.name()).unwrap_or(f64::NAN))
+                    .collect();
                 let outcome = if values.iter().all(|v| v.is_finite()) {
                     normalized_cc(&values, &exec, m.expected_direction()).ok()
                 } else {
@@ -118,7 +121,13 @@ impl DetailSeries {
             metric: metric.to_string(),
             points: cases
                 .iter()
-                .map(|c| (c.label.clone(), c.metric(metric), c.exec_s))
+                .map(|c| {
+                    (
+                        c.label.clone(),
+                        c.metric(metric).unwrap_or(f64::NAN),
+                        c.exec_s,
+                    )
+                })
                 .collect(),
         }
     }
@@ -160,7 +169,14 @@ mod tests {
         (1..=5u32)
             .map(|k| {
                 let t = k as f64;
-                pt(&format!("case{k}"), 100.0 / t, 50.0 / t, 0.001 * t, 6400.0 / t, t)
+                pt(
+                    &format!("case{k}"),
+                    100.0 / t,
+                    50.0 / t,
+                    0.001 * t,
+                    6400.0 / t,
+                    t,
+                )
             })
             .collect()
     }
@@ -182,7 +198,14 @@ mod tests {
         let cases: Vec<CasePoint> = (1..=5u32)
             .map(|k| {
                 let t = k as f64;
-                pt(&format!("c{k}"), 100.0 * t, 50.0 / t, 0.001 * t, 6400.0 / t, t)
+                pt(
+                    &format!("c{k}"),
+                    100.0 * t,
+                    50.0 / t,
+                    0.001 * t,
+                    6400.0 / t,
+                    t,
+                )
             })
             .collect();
         let fig = CcFigure::from_points("test", cases);

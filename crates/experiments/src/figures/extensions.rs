@@ -9,10 +9,10 @@
 //! built it for.
 
 use crate::scale::Scale;
-use bps_core::metrics::{Bandwidth, Bps, Metric};
+use crate::sweep::SweepExec;
 use bps_core::record::FileId;
+use bps_core::sink::StreamingMetrics;
 use bps_core::time::Dur;
-use bps_core::trace::Trace;
 use bps_fs::cluster::{Cluster, ClusterConfig, DeviceSpec};
 use bps_fs::layout::StripeLayout;
 use bps_fs::pfs::ParallelFs;
@@ -118,7 +118,7 @@ pub struct ComboResult {
     pub bw: f64,
 }
 
-fn run_combo(combo: Combo, scale: &Scale, seed: u64) -> Trace {
+fn run_combo(combo: Combo, scale: &Scale, seed: u64) -> StreamingMetrics {
     let procs = 2;
     let workload = Mixed {
         hpio: Hpio {
@@ -131,7 +131,7 @@ fn run_combo(combo: Combo, scale: &Scale, seed: u64) -> Trace {
         },
         seq: Iozone::throughput_read(procs, scale.fig12_regions * 256, 64 << 10),
     };
-    let cluster = Cluster::new(&ClusterConfig {
+    let cfg = ClusterConfig {
         servers: 4,
         clients: procs,
         device: DeviceSpec::Hdd(HddProfile::sata_7200_250gb()),
@@ -144,7 +144,8 @@ fn run_combo(combo: Combo, scale: &Scale, seed: u64) -> Trace {
         jitter: Jitter::DEFAULT,
         seed,
         record_device_layer: false,
-    });
+    };
+    let cluster = Cluster::with_sink(&cfg, StreamingMetrics::new());
     let mut pfs = ParallelFs::new(4);
     let files: Vec<FileId> = workload
         .file_sizes()
@@ -158,25 +159,31 @@ fn run_combo(combo: Combo, scale: &Scale, seed: u64) -> Trace {
         SievingConfig::disabled()
     };
     stack.prefetch = combo.prefetch.then(PrefetchConfig::readahead_128k);
-    let (trace, _) = run_workload(stack, &workload, &files, Dur::from_micros(5));
-    trace
+    let (metrics, _) = run_workload(stack, &workload, &files, Dur::from_micros(5));
+    metrics
 }
 
-/// Sweep all combinations, averaged over the scale's seeds, sorted by BPS
+/// Sweep all combinations — every `(combo, seed)` unit in parallel through
+/// the streaming pipeline — averaged over the scale's seeds, sorted by BPS
 /// (best first).
 pub fn sweep(scale: &Scale) -> Vec<ComboResult> {
     let seeds = scale.seeds();
-    let mut results: Vec<ComboResult> = Combo::all()
-        .into_iter()
-        .map(|combo| {
+    let combos = Combo::all();
+    let units = combos.len() * seeds.len();
+    let runs = SweepExec::from_env().run_indexed(units, |i| {
+        run_combo(combos[i / seeds.len()], scale, seeds[i % seeds.len()])
+    });
+    let mut results: Vec<ComboResult> = combos
+        .iter()
+        .zip(runs.chunks_exact(seeds.len()))
+        .map(|(&combo, per_combo)| {
             let mut exec = 0.0;
             let mut bps = 0.0;
             let mut bw = 0.0;
-            for &seed in &seeds {
-                let t = run_combo(combo, scale, seed);
-                exec += t.execution_time().as_secs_f64();
-                bps += Bps.compute(&t).unwrap_or(f64::NAN);
-                bw += Bandwidth.compute(&t).unwrap_or(f64::NAN);
+            for m in per_combo {
+                exec += m.execution_time().as_secs_f64();
+                bps += m.bps().unwrap_or(f64::NAN);
+                bw += m.bandwidth().unwrap_or(f64::NAN);
             }
             let n = seeds.len() as f64;
             ComboResult {
@@ -205,7 +212,12 @@ pub fn report(scale: &Scale) -> String {
         "(S = data sieving, P = prefetch, E = elevator; mixed HPIO+sequential workload)"
     )
     .unwrap();
-    writeln!(out, "{:<8} {:>10} {:>12} {:>12}", "combo", "exec(s)", "BPS", "BW(MB/s)").unwrap();
+    writeln!(
+        out,
+        "{:<8} {:>10} {:>12} {:>12}",
+        "combo", "exec(s)", "BPS", "BW(MB/s)"
+    )
+    .unwrap();
     for r in &results {
         writeln!(
             out,
@@ -220,7 +232,11 @@ pub fn report(scale: &Scale) -> String {
     writeln!(
         out,
         "\nBPS order matches execution-time order: {}",
-        if bps_ranks_match_exec(&results) { "yes" } else { "no (see EXPERIMENTS.md)" }
+        if bps_ranks_match_exec(&results) {
+            "yes"
+        } else {
+            "no (see EXPERIMENTS.md)"
+        }
     )
     .unwrap();
     out
@@ -230,10 +246,7 @@ pub fn report(scale: &Scale) -> String {
 pub fn bps_ranks_match_exec(results: &[ComboResult]) -> bool {
     let mut by_exec: Vec<&ComboResult> = results.iter().collect();
     by_exec.sort_by(|a, b| a.exec_s.partial_cmp(&b.exec_s).expect("finite"));
-    by_exec
-        .iter()
-        .zip(results)
-        .all(|(a, b)| a.combo == b.combo)
+    by_exec.iter().zip(results).all(|(a, b)| a.combo == b.combo)
 }
 
 #[cfg(test)]
@@ -244,8 +257,7 @@ mod tests {
     fn all_eight_combos() {
         let combos = Combo::all();
         assert_eq!(combos.len(), 8);
-        let labels: std::collections::HashSet<String> =
-            combos.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<String> = combos.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 8);
     }
 

@@ -12,8 +12,9 @@
 //! server count actually matters.
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CasePoint, CaseSpec, Storage};
+use crate::runner::{CaseSpec, Storage};
 use crate::scale::Scale;
+use crate::sweep::SweepExec;
 use bps_workloads::iozone::Iozone;
 
 /// Record size used for the sequential read.
@@ -35,13 +36,11 @@ pub fn storages() -> Vec<(String, Storage)> {
 pub fn run(scale: &Scale) -> CcFigure {
     let seeds = scale.seeds();
     let workload = Iozone::seq_read(scale.fig4_file, RECORD_SIZE);
-    let points: Vec<CasePoint> = storages()
+    let cases: Vec<(String, CaseSpec)> = storages()
         .into_iter()
-        .map(|(label, storage)| {
-            let spec = CaseSpec::new(storage, &workload);
-            CasePoint::averaged(label, &spec, &seeds)
-        })
+        .map(|(label, storage)| (label, CaseSpec::new(storage, &workload)))
         .collect();
+    let points = SweepExec::from_env().run(&cases, &seeds);
     CcFigure::from_points("Figure 4: CC across storage devices", points)
 }
 

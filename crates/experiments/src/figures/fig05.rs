@@ -9,6 +9,7 @@
 use crate::figures::common::CcFigure;
 use crate::runner::{CasePoint, CaseSpec, Storage};
 use crate::scale::Scale;
+use crate::sweep::SweepExec;
 use bps_workloads::iozone::Iozone;
 
 /// The record-size sweep: 4 KB to 8 MB.
@@ -32,14 +33,15 @@ fn label_of(rs: u64) -> String {
 
 /// Run the sweep on the given storage (shared with Figure 6).
 pub fn points_on(storage: Storage, file_size: u64, seeds: &[u64]) -> Vec<CasePoint> {
-    RECORD_SIZES
+    let workloads: Vec<Iozone> = RECORD_SIZES
         .iter()
-        .map(|&rs| {
-            let workload = Iozone::seq_read(file_size, rs);
-            let spec = CaseSpec::new(storage, &workload);
-            CasePoint::averaged(label_of(rs), &spec, seeds)
-        })
-        .collect()
+        .map(|&rs| Iozone::seq_read(file_size, rs))
+        .collect();
+    let cases: Vec<(String, CaseSpec)> = workloads
+        .iter()
+        .map(|w| (label_of(w.record_size), CaseSpec::new(storage, w)))
+        .collect();
+    SweepExec::from_env().run(&cases, seeds)
 }
 
 /// Run the HDD sweep and score the metrics.

@@ -39,9 +39,6 @@ mod tests {
         // same order of magnitude as the paper's 5156 IOPS.
         let s = run(&Scale::tiny());
         let iops_4k = s.points[0].1;
-        assert!(
-            (2000.0..12000.0).contains(&iops_4k),
-            "4KB IOPS = {iops_4k}"
-        );
+        assert!((2000.0..12000.0).contains(&iops_4k), "4KB IOPS = {iops_4k}");
     }
 }

@@ -11,6 +11,7 @@
 use crate::figures::common::CcFigure;
 use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
 use crate::scale::Scale;
+use crate::sweep::SweepExec;
 use bps_workloads::iozone::Iozone;
 
 /// Record size of the per-process sequential reads.
@@ -19,16 +20,21 @@ pub const RECORD_SIZE: u64 = 64 << 10;
 /// Run the sweep points (shared with Figure 10).
 pub fn points(scale: &Scale) -> Vec<CasePoint> {
     let seeds = scale.seeds();
-    (1..=8usize)
-        .map(|n| {
-            let per_proc = scale.fig9_total / n as u64;
-            let workload = Iozone::throughput_read(n, per_proc, RECORD_SIZE);
-            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, &workload);
+    let workloads: Vec<Iozone> = (1..=8usize)
+        .map(|n| Iozone::throughput_read(n, scale.fig9_total / n as u64, RECORD_SIZE))
+        .collect();
+    let cases: Vec<(String, CaseSpec)> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let n = i + 1;
+            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, w);
             spec.layout = LayoutPolicy::PinnedPerFile;
             spec.clients = n;
-            CasePoint::averaged(format!("np={n}"), &spec, &seeds)
+            (format!("np={n}"), spec)
         })
-        .collect()
+        .collect();
+    SweepExec::from_env().run(&cases, &seeds)
 }
 
 /// Run the sweep and score the metrics.

@@ -8,8 +8,9 @@
 //! way (paper: ~0.39) as server queues grow with fan-in.
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
+use crate::runner::{CaseSpec, LayoutPolicy, Storage};
 use crate::scale::Scale;
+use crate::sweep::SweepExec;
 use bps_workloads::ior::Ior;
 
 /// The process counts swept.
@@ -18,16 +19,20 @@ pub const PROCESS_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 /// Run the sweep and score the metrics.
 pub fn run(scale: &Scale) -> CcFigure {
     let seeds = scale.seeds();
-    let points: Vec<CasePoint> = PROCESS_COUNTS
+    let workloads: Vec<(usize, Ior)> = PROCESS_COUNTS
         .iter()
-        .map(|&n| {
-            let workload = Ior::shared_read(n, scale.fig11_total);
-            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, &workload);
+        .map(|&n| (n, Ior::shared_read(n, scale.fig11_total)))
+        .collect();
+    let cases: Vec<(String, CaseSpec)> = workloads
+        .iter()
+        .map(|(n, w)| {
+            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, w);
             spec.layout = LayoutPolicy::DefaultStripe;
-            spec.clients = n;
-            CasePoint::averaged(format!("np={n}"), &spec, &seeds)
+            spec.clients = *n;
+            (format!("np={n}"), spec)
         })
         .collect();
+    let points = SweepExec::from_env().run(&cases, &seeds);
     CcFigure::from_points("Figure 11: CC for IOR on a shared striped file", points)
 }
 

@@ -9,8 +9,9 @@
 //! represent I/O system performance."
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
+use crate::runner::{CaseSpec, LayoutPolicy, Storage};
 use crate::scale::Scale;
+use crate::sweep::SweepExec;
 use bps_middleware::sieving::SievingConfig;
 use bps_workloads::hpio::Hpio;
 
@@ -32,17 +33,19 @@ pub fn workload(scale: &Scale, spacing: u64) -> Hpio {
 /// Run the sweep and score the metrics.
 pub fn run(scale: &Scale) -> CcFigure {
     let seeds = scale.seeds();
-    let points: Vec<CasePoint> = SPACINGS
+    let workloads: Vec<Hpio> = SPACINGS.iter().map(|&s| workload(scale, s)).collect();
+    let cases: Vec<(String, CaseSpec)> = SPACINGS
         .iter()
-        .map(|&spacing| {
-            let w = workload(scale, spacing);
-            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 4 }, &w);
+        .zip(&workloads)
+        .map(|(&spacing, w)| {
+            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 4 }, w);
             spec.layout = LayoutPolicy::DefaultStripe;
             spec.clients = PROCESSES;
             spec.sieving = SievingConfig::romio_default();
-            CasePoint::averaged(format!("gap={spacing}B"), &spec, &seeds)
+            (format!("gap={spacing}B"), spec)
         })
         .collect();
+    let points = SweepExec::from_env().run(&cases, &seeds);
     CcFigure::from_points(
         "Figure 12: CC with data sieving (additional data movement)",
         points,

@@ -79,7 +79,12 @@ pub fn report() -> String {
     .unwrap();
     // Time.
     writeln!(out, "\nunion-time cost (single run, this machine):").unwrap();
-    writeln!(out, "{:>9} {:>14} {:>14}", "records", "paper (us)", "sweep (us)").unwrap();
+    writeln!(
+        out,
+        "{:>9} {:>14} {:>14}",
+        "records", "paper (us)", "sweep (us)"
+    )
+    .unwrap();
     for row in measure(&[1_000, 10_000, 100_000]) {
         writeln!(
             out,

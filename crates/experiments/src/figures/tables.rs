@@ -30,7 +30,11 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let rows = [
         ("Set1", "various storage device", "fig04"),
-        ("Set2", "various I/O request size", "fig05 fig06 fig07 fig08"),
+        (
+            "Set2",
+            "various I/O request size",
+            "fig05 fig06 fig07 fig08",
+        ),
         ("Set3", "various I/O concurrency", "fig09 fig10 fig11"),
         ("Set4", "various additional data movement", "fig12"),
     ];

@@ -9,8 +9,9 @@
 
 use crate::figures::common::CcFigure;
 use crate::figures::fig05::RECORD_SIZES;
-use crate::runner::{CasePoint, CaseSpec, Storage};
+use crate::runner::{CaseSpec, Storage};
 use crate::scale::Scale;
+use crate::sweep::SweepExec;
 use bps_workloads::iozone::{Iozone, IozoneMode};
 
 fn label_of(rs: u64) -> String {
@@ -24,20 +25,21 @@ fn label_of(rs: u64) -> String {
 /// Run the write sweep on one device.
 pub fn run_on(storage: Storage, scale: &Scale) -> CcFigure {
     let seeds = scale.seeds();
-    let points: Vec<CasePoint> = RECORD_SIZES
+    let workloads: Vec<Iozone> = RECORD_SIZES
         .iter()
-        .map(|&rs| {
-            let workload = Iozone {
-                mode: IozoneMode::SeqWrite,
-                file_size: scale.fig5_file,
-                record_size: rs,
-                processes: 1,
-                seed: 0,
-            };
-            let spec = CaseSpec::new(storage, &workload);
-            CasePoint::averaged(label_of(rs), &spec, &seeds)
+        .map(|&rs| Iozone {
+            mode: IozoneMode::SeqWrite,
+            file_size: scale.fig5_file,
+            record_size: rs,
+            processes: 1,
+            seed: 0,
         })
         .collect();
+    let cases: Vec<(String, CaseSpec)> = workloads
+        .iter()
+        .map(|w| (label_of(w.record_size), CaseSpec::new(storage, w)))
+        .collect();
+    let points = SweepExec::from_env().run(&cases, &seeds);
     let name = match storage {
         Storage::Hdd => "HDD",
         Storage::Ssd => "SSD",

@@ -22,6 +22,8 @@ pub mod export;
 pub mod figures;
 pub mod runner;
 pub mod scale;
+pub mod sweep;
 
-pub use runner::{run_case, CasePoint, CaseSpec, LayoutPolicy, Storage};
+pub use runner::{run_case, run_case_streaming, CasePoint, CaseSpec, LayoutPolicy, Storage};
 pub use scale::Scale;
+pub use sweep::SweepExec;

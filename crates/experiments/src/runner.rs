@@ -3,11 +3,13 @@
 //! A [`CaseSpec`] names a storage configuration plus a workload; `run_case`
 //! assembles the simulated cluster and file system, binds the workload's
 //! files, drives all processes to completion, and returns the collected
-//! multi-layer trace. [`CasePoint`] averages the four paper metrics over
-//! repeated seeded runs, as the paper averages 5 runs per case.
+//! multi-layer trace. [`run_case_streaming`] runs the same case through
+//! [`StreamingMetrics`] instead — constant space, identical numbers.
+//! [`CasePoint`] averages the four paper metrics over repeated seeded
+//! runs, as the paper averages 5 runs per case.
 
-use bps_core::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
 use bps_core::record::FileId;
+use bps_core::sink::{RecordSink, StreamingMetrics};
 use bps_core::time::Dur;
 use bps_core::trace::Trace;
 use bps_fs::cluster::{Cluster, ClusterConfig, DeviceSpec};
@@ -81,6 +83,18 @@ impl<'a> CaseSpec<'a> {
 
 /// Run one case once with one seed; returns the trace (execution time set).
 pub fn run_case(spec: &CaseSpec<'_>, seed: u64) -> Trace {
+    run_case_with(spec, seed, Trace::new())
+}
+
+/// Run one case once with one seed, folding every record into streaming
+/// accumulators as it completes — no trace is materialized. The returned
+/// metrics are bit-for-bit what [`run_case`] plus `Metric::compute` yield.
+pub fn run_case_streaming(spec: &CaseSpec<'_>, seed: u64) -> StreamingMetrics {
+    run_case_with(spec, seed, StreamingMetrics::new())
+}
+
+/// Run one case once with one seed, feeding records into `sink`.
+pub fn run_case_with<S: RecordSink + Default>(spec: &CaseSpec<'_>, seed: u64, sink: S) -> S {
     let servers = match spec.storage {
         Storage::Pvfs { servers } => servers,
         _ => 1,
@@ -89,8 +103,7 @@ pub fn run_case(spec: &CaseSpec<'_>, seed: u64) -> Trace {
     // device behaviour differ slightly run to run (placement, background
     // daemons), which is why the paper averages 5 runs.
     let mut seed_rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
-    let server_cpu =
-        Dur::from_secs_f64(25e-6 * (0.85 + 0.3 * seed_rng.unit()));
+    let server_cpu = Dur::from_secs_f64(25e-6 * (0.85 + 0.3 * seed_rng.unit()));
     let cfg = ClusterConfig {
         servers,
         clients: spec.clients.max(1),
@@ -104,7 +117,7 @@ pub fn run_case(spec: &CaseSpec<'_>, seed: u64) -> Trace {
         seed,
         record_device_layer: false,
     };
-    let cluster = Cluster::new(&cfg);
+    let cluster = Cluster::with_sink(&cfg, sink);
     let file_sizes = spec.workload.file_sizes();
     let mut file_map: Vec<FileId> = Vec::with_capacity(file_sizes.len());
     let backend = match spec.storage {
@@ -129,8 +142,8 @@ pub fn run_case(spec: &CaseSpec<'_>, seed: u64) -> Trace {
     };
     let mut stack = IoStack::new(cluster, backend);
     stack.sieving = spec.sieving;
-    let (trace, _outcome) = run_workload(stack, spec.workload, &file_map, spec.cpu_per_op);
-    trace
+    let (sink, _outcome) = run_workload(stack, spec.workload, &file_map, spec.cpu_per_op);
+    sink
 }
 
 /// The four paper metrics plus execution time for one case, averaged over
@@ -152,37 +165,61 @@ pub struct CasePoint {
 }
 
 impl CasePoint {
-    /// Run a case once per seed and average the metrics.
+    /// Run a case once per seed and average the metrics. The seeds are
+    /// fanned across threads by [`crate::sweep::SweepExec::from_env`]
+    /// (`BPS_THREADS` controls the count); the result is byte-identical
+    /// at any thread count.
     pub fn averaged(label: impl Into<String>, spec: &CaseSpec<'_>, seeds: &[u64]) -> CasePoint {
-        assert!(!seeds.is_empty(), "need at least one seed");
-        let mut sums = [0.0f64; 5];
-        for &seed in seeds {
-            let trace = run_case(spec, seed);
-            sums[0] += Iops.compute(&trace).unwrap_or(f64::NAN);
-            sums[1] += Bandwidth.compute(&trace).unwrap_or(f64::NAN);
-            sums[2] += Arpt.compute(&trace).unwrap_or(f64::NAN);
-            sums[3] += Bps.compute(&trace).unwrap_or(f64::NAN);
-            sums[4] += trace.execution_time().as_secs_f64();
+        crate::sweep::SweepExec::from_env().run_one(label, spec, seeds)
+    }
+
+    /// Average already-finished per-seed runs into one point (runs in seed
+    /// order). A seed where a metric is undefined (e.g. a zero-time run)
+    /// is counted and skipped with a warning rather than poisoning the
+    /// mean with NaN; if *every* run leaves a metric undefined, that
+    /// metric is NaN and downstream correlation scoring reports `n/a`.
+    pub fn from_runs(label: impl Into<String>, runs: &[StreamingMetrics]) -> CasePoint {
+        assert!(!runs.is_empty(), "need at least one run");
+        let label = label.into();
+        fn mean(label: &str, name: &str, values: Vec<Option<f64>>) -> f64 {
+            let total = values.len();
+            let defined: Vec<f64> = values.into_iter().flatten().collect();
+            let skipped = total - defined.len();
+            if skipped > 0 {
+                eprintln!(
+                    "warning: case {label}: {name} undefined in {skipped}/{total} run(s); \
+                     averaging the rest"
+                );
+            }
+            if defined.is_empty() {
+                f64::NAN
+            } else {
+                defined.iter().sum::<f64>() / defined.len() as f64
+            }
         }
-        let n = seeds.len() as f64;
         CasePoint {
-            label: label.into(),
-            iops: sums[0] / n,
-            bw: sums[1] / n,
-            arpt: sums[2] / n,
-            bps: sums[3] / n,
-            exec_s: sums[4] / n,
+            iops: mean(&label, "IOPS", runs.iter().map(|r| r.iops()).collect()),
+            bw: mean(&label, "BW", runs.iter().map(|r| r.bandwidth()).collect()),
+            arpt: mean(&label, "ARPT", runs.iter().map(|r| r.arpt()).collect()),
+            bps: mean(&label, "BPS", runs.iter().map(|r| r.bps()).collect()),
+            exec_s: runs
+                .iter()
+                .map(|r| r.execution_time().as_secs_f64())
+                .sum::<f64>()
+                / runs.len() as f64,
+            label,
         }
     }
 
-    /// The metric value by paper name ("IOPS", "BW", "ARPT", "BPS").
-    pub fn metric(&self, name: &str) -> f64 {
+    /// The metric value by paper name ("IOPS", "BW", "ARPT", "BPS");
+    /// `None` for an unknown name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
         match name {
-            "IOPS" => self.iops,
-            "BW" => self.bw,
-            "ARPT" => self.arpt,
-            "BPS" => self.bps,
-            other => panic!("unknown metric {other}"),
+            "IOPS" => Some(self.iops),
+            "BW" => Some(self.bw),
+            "ARPT" => Some(self.arpt),
+            "BPS" => Some(self.bps),
+            _ => None,
         }
     }
 }
@@ -230,7 +267,22 @@ mod tests {
         assert!(p.arpt.is_finite() && p.arpt > 0.0);
         assert!(p.bps.is_finite() && p.bps > 0.0);
         assert!(p.exec_s > 0.0);
-        assert_eq!(p.metric("BPS"), p.bps);
+        assert_eq!(p.metric("BPS"), Some(p.bps));
+    }
+
+    #[test]
+    fn streaming_case_matches_trace_case() {
+        use bps_core::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
+        let w = Iozone::seq_read(4 << 20, 256 << 10);
+        let spec = CaseSpec::new(Storage::Hdd, &w);
+        let trace = run_case(&spec, 7);
+        let stream = run_case_streaming(&spec, 7);
+        assert_eq!(Bps.compute(&trace), stream.bps());
+        assert_eq!(Iops.compute(&trace), stream.iops());
+        assert_eq!(Bandwidth.compute(&trace), stream.bandwidth());
+        assert_eq!(Arpt.compute(&trace), stream.arpt());
+        assert_eq!(trace.execution_time(), stream.execution_time());
+        assert_eq!(trace.len() as u64, stream.len());
     }
 
     #[test]
@@ -245,16 +297,55 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown metric")]
-    fn unknown_metric_panics() {
+    fn unknown_metric_is_none() {
         let p = CasePoint {
             label: "x".into(),
-            iops: 0.0,
-            bw: 0.0,
-            arpt: 0.0,
-            bps: 0.0,
-            exec_s: 0.0,
+            iops: 1.0,
+            bw: 2.0,
+            arpt: 3.0,
+            bps: 4.0,
+            exec_s: 5.0,
         };
-        p.metric("nope");
+        assert_eq!(p.metric("nope"), None);
+        assert_eq!(p.metric("ARPT"), Some(3.0));
+    }
+
+    #[test]
+    fn from_runs_skips_undefined_samples() {
+        use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
+        use bps_core::sink::RecordSink;
+        use bps_core::sink::StreamingMetrics;
+        use bps_core::time::Nanos;
+        // One healthy run and one zero-time run (BPS/IOPS/BW undefined).
+        let mut good = StreamingMetrics::new();
+        good.on_record(&IoRecord::new(
+            ProcessId(0),
+            IoOp::Read,
+            FileId(0),
+            0,
+            4096,
+            Nanos::ZERO,
+            Nanos::from_micros(100),
+            Layer::Application,
+        ));
+        let mut degenerate = StreamingMetrics::new();
+        degenerate.on_record(&IoRecord::new(
+            ProcessId(0),
+            IoOp::Read,
+            FileId(0),
+            0,
+            4096,
+            Nanos::from_micros(5),
+            Nanos::from_micros(5),
+            Layer::Application,
+        ));
+        let p = CasePoint::from_runs("mixed", &[good.clone(), degenerate]);
+        // The undefined samples are skipped, not NaN-poisoned.
+        assert_eq!(p.bps, good.bps().unwrap());
+        assert_eq!(p.iops, good.iops().unwrap());
+        assert!(p.bps.is_finite() && p.iops.is_finite());
+        // ARPT is defined in both runs and averages over both.
+        let arpt_mean = (good.arpt().unwrap() + 0.0) / 2.0;
+        assert_eq!(p.arpt, arpt_mean);
     }
 }

@@ -1,0 +1,182 @@
+//! Parallel sweep execution.
+//!
+//! Every figure in the evaluation is a sweep: a list of cases, each run
+//! once per seed and averaged. The units are completely independent, so
+//! [`SweepExec`] fans `cases × seeds` across OS threads
+//! (`std::thread::scope`, no extra crates) and reassembles the results in
+//! the input order — the output is byte-identical at any thread count,
+//! because each unit is deterministic in `(case, seed)` and the averaging
+//! still happens in seed order on the caller's thread.
+//!
+//! Thread count: the `BPS_THREADS` environment variable if set, otherwise
+//! [`std::thread::available_parallelism`]. `BPS_THREADS=1` runs inline on
+//! the calling thread.
+
+use crate::runner::{run_case_streaming, CasePoint, CaseSpec};
+use bps_core::sink::StreamingMetrics;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A work-stealing executor for embarrassingly parallel sweep units.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepExec {
+    threads: usize,
+}
+
+impl SweepExec {
+    /// An executor over exactly `threads` worker threads (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        SweepExec {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Thread count from `BPS_THREADS`, defaulting to the machine's
+    /// available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("BPS_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        SweepExec::new(threads)
+    }
+
+    /// The worker thread count this executor fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0..n)` across the executor's threads and collect the results
+    /// indexed by input position. Workers claim indices from a shared
+    /// counter (work stealing), so uneven unit costs balance out; the
+    /// output order is the input order regardless of completion order.
+    pub fn run_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i);
+                    *slots[i].lock().expect("sweep slot lock poisoned") = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("sweep slot lock poisoned")
+                    .expect("every unit index was claimed by a worker")
+            })
+            .collect()
+    }
+
+    /// Run every `(case, seed)` unit through the streaming pipeline in
+    /// parallel and average each case over its seeds. Points come back in
+    /// the input case order.
+    pub fn run(&self, cases: &[(String, CaseSpec<'_>)], seeds: &[u64]) -> Vec<CasePoint> {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let units = cases.len() * seeds.len();
+        let runs: Vec<StreamingMetrics> = self.run_indexed(units, |i| {
+            let (ci, si) = (i / seeds.len(), i % seeds.len());
+            run_case_streaming(&cases[ci].1, seeds[si])
+        });
+        cases
+            .iter()
+            .zip(runs.chunks_exact(seeds.len()))
+            .map(|((label, _), per_case)| CasePoint::from_runs(label.clone(), per_case))
+            .collect()
+    }
+
+    /// Run one case across its seeds in parallel; the [`CasePoint`] is
+    /// identical to a sequential run.
+    pub fn run_one(
+        &self,
+        label: impl Into<String>,
+        spec: &CaseSpec<'_>,
+        seeds: &[u64],
+    ) -> CasePoint {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let runs = self.run_indexed(seeds.len(), |i| run_case_streaming(spec, seeds[i]));
+        CasePoint::from_runs(label, &runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Storage;
+    use bps_workloads::iozone::Iozone;
+
+    #[test]
+    fn run_indexed_preserves_input_order() {
+        let exec = SweepExec::new(4);
+        let out = exec.run_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        let exec = SweepExec::new(8);
+        assert!(exec.run_indexed(0, |i| i).is_empty());
+        assert_eq!(exec.run_indexed(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn thread_count_floor_is_one() {
+        assert_eq!(SweepExec::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn parallel_sweep_equals_sequential_sweep() {
+        let w = Iozone::seq_read(2 << 20, 256 << 10);
+        let cases = vec![
+            ("hdd".to_string(), CaseSpec::new(Storage::Hdd, &w)),
+            ("ssd".to_string(), CaseSpec::new(Storage::Ssd, &w)),
+        ];
+        let seeds = [1, 2, 3];
+        let seq = SweepExec::new(1).run(&cases, &seeds);
+        let par = SweepExec::new(4).run(&cases, &seeds);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.iops.to_bits(), b.iops.to_bits());
+            assert_eq!(a.bw.to_bits(), b.bw.to_bits());
+            assert_eq!(a.arpt.to_bits(), b.arpt.to_bits());
+            assert_eq!(a.bps.to_bits(), b.bps.to_bits());
+            assert_eq!(a.exec_s.to_bits(), b.exec_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_one_matches_run() {
+        let w = Iozone::seq_read(2 << 20, 256 << 10);
+        let spec = CaseSpec::new(Storage::Hdd, &w);
+        let seeds = [1, 2];
+        let one = SweepExec::new(2).run_one("hdd", &spec, &seeds);
+        let cases = vec![("hdd".to_string(), CaseSpec::new(Storage::Hdd, &w))];
+        let many = SweepExec::new(2).run(&cases, &seeds);
+        assert_eq!(one.bps.to_bits(), many[0].bps.to_bits());
+        assert_eq!(one.exec_s.to_bits(), many[0].exec_s.to_bits());
+    }
+}

@@ -1,0 +1,53 @@
+//! Sweep determinism: the parallel executor must be invisible in the
+//! results. A sweep run on one thread and the same sweep fanned over many
+//! threads serialize to byte-identical JSON, and a same-seed rerun is
+//! byte-identical too.
+
+use bps_experiments::runner::{CaseSpec, Storage};
+use bps_experiments::sweep::SweepExec;
+use bps_workloads::iozone::Iozone;
+
+fn sweep_json(threads: usize) -> String {
+    let w_small = Iozone::seq_read(2 << 20, 256 << 10);
+    let w_large = Iozone::seq_read(4 << 20, 1 << 20);
+    let cases = vec![
+        (
+            "hdd-small".to_string(),
+            CaseSpec::new(Storage::Hdd, &w_small),
+        ),
+        (
+            "ssd-small".to_string(),
+            CaseSpec::new(Storage::Ssd, &w_small),
+        ),
+        (
+            "pvfs-2".to_string(),
+            CaseSpec::new(Storage::Pvfs { servers: 2 }, &w_large),
+        ),
+    ];
+    let points = SweepExec::new(threads).run(&cases, &[1, 2, 3]);
+    serde_json::to_string(&points).expect("CasePoint serializes")
+}
+
+#[test]
+fn one_thread_and_many_threads_serialize_identically() {
+    let sequential = sweep_json(1);
+    let parallel = sweep_json(8);
+    assert_eq!(sequential, parallel);
+    // More workers than units exercises the worker cap too.
+    assert_eq!(sequential, sweep_json(64));
+}
+
+#[test]
+fn same_seed_rerun_is_byte_identical() {
+    assert_eq!(sweep_json(4), sweep_json(4));
+}
+
+#[test]
+fn different_seeds_actually_change_the_numbers() {
+    let w = Iozone::seq_read(2 << 20, 256 << 10);
+    let cases = vec![("hdd".to_string(), CaseSpec::new(Storage::Hdd, &w))];
+    let exec = SweepExec::new(2);
+    let a = serde_json::to_string(&exec.run(&cases, &[1, 2])).unwrap();
+    let b = serde_json::to_string(&exec.run(&cases, &[3, 4])).unwrap();
+    assert_ne!(a, b, "seed set should perturb the averaged metrics");
+}

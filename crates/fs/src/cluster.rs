@@ -8,6 +8,7 @@
 
 use crate::layout::Chunk;
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
+use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
 use bps_core::trace::Trace;
 use bps_sim::device::hdd::{Hdd, HddProfile};
@@ -123,21 +124,39 @@ const REQUEST_MSG: u64 = 128;
 /// Size of a write acknowledgement on the wire.
 const ACK_MSG: u64 = 64;
 
-/// The assembled cluster plus the global trace being collected.
-pub struct Cluster {
+/// The assembled cluster plus the record sink being fed.
+///
+/// Generic over the [`RecordSink`] observing completed accesses: the
+/// default `Trace` materializes every record as before, while e.g.
+/// `StreamingMetrics` folds each record into constant-size accumulators
+/// the moment the simulated request completes.
+pub struct Cluster<S: RecordSink = Trace> {
     servers: Vec<ServerNode>,
     clients: Vec<ClientNode>,
     switch: Switch,
     server_cpu: Dur,
     record_device_layer: bool,
-    /// The global record collection (paper §III.B Step 2). All layers
-    /// append here; experiments read it back at the end of a run.
-    pub trace: Trace,
+    /// The global record observer (paper §III.B Step 2). All layers feed
+    /// it as each access completes; experiments read it back at the end of
+    /// a run.
+    pub sink: S,
 }
 
-impl Cluster {
-    /// Build a cluster from a config.
+impl Cluster<Trace> {
+    /// Build a cluster from a config, collecting records into a [`Trace`].
     pub fn new(cfg: &ClusterConfig) -> Self {
+        Cluster::with_sink(cfg, Trace::new())
+    }
+
+    /// Take the collected trace out of the cluster (end of a run).
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.sink)
+    }
+}
+
+impl<S: RecordSink> Cluster<S> {
+    /// Build a cluster from a config, streaming records into `sink`.
+    pub fn with_sink(cfg: &ClusterConfig, sink: S) -> Self {
         assert!(cfg.servers >= 1, "cluster needs at least one server");
         assert!(cfg.clients >= 1, "cluster needs at least one client");
         let mut rng = SimRng::seed_from_u64(cfg.seed);
@@ -160,7 +179,7 @@ impl Cluster {
             switch: Switch::gigabit_cluster(),
             server_cpu: cfg.server_cpu,
             record_device_layer: cfg.record_device_layer,
-            trace: Trace::new(),
+            sink,
         }
     }
 
@@ -189,12 +208,11 @@ impl Cluster {
         issue: Nanos,
     ) -> Nanos {
         let blocks = bps_core::block::blocks_for_bytes(bytes);
-        let grant = self.servers[server].device.submit(
-            issue,
-            DeviceReq { lba, blocks, op },
-        );
+        let grant = self.servers[server]
+            .device
+            .submit(issue, DeviceReq { lba, blocks, op });
         if self.record_device_layer {
-            self.trace.push(IoRecord::new(
+            self.sink.on_record(&IoRecord::new(
                 pid,
                 op,
                 file,
@@ -240,7 +258,7 @@ impl Cluster {
             .device
             .submit(dev_arrival, DeviceReq { lba, blocks, op });
         if self.record_device_layer {
-            self.trace.push(IoRecord::new(
+            self.sink.on_record(&IoRecord::new(
                 pid,
                 op,
                 file,
@@ -256,10 +274,12 @@ impl Cluster {
             IoOp::Read => bytes,
             IoOp::Write => ACK_MSG,
         };
-        let t = self.servers[chunk.server].nic_out.transfer(grant.end, inbound);
+        let t = self.servers[chunk.server]
+            .nic_out
+            .transfer(grant.end, inbound);
         let t = self.switch.forward(t, inbound);
         let done = self.clients[client].nic_in.transfer(t, inbound);
-        self.trace.push(IoRecord::new(
+        self.sink.on_record(&IoRecord::new(
             pid,
             op,
             file,
@@ -298,8 +318,14 @@ impl Cluster {
         start: Nanos,
         end: Nanos,
     ) {
-        self.trace.push(IoRecord::new(
-            pid, op, file, offset, bytes, start, end,
+        self.sink.on_record(&IoRecord::new(
+            pid,
+            op,
+            file,
+            offset,
+            bytes,
+            start,
+            end,
             Layer::FileSystem,
         ));
     }
@@ -308,19 +334,13 @@ impl Cluster {
     pub fn device_stats(&self, server: usize) -> &bps_sim::resource::ResourceStats {
         self.servers[server].device.stats()
     }
-
-    /// Take the collected trace out of the cluster (end of a run).
-    pub fn take_trace(&mut self) -> Trace {
-        std::mem::take(&mut self.trace)
-    }
 }
 
-impl std::fmt::Debug for Cluster {
+impl<S: RecordSink> std::fmt::Debug for Cluster<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("servers", &self.servers.len())
             .field("clients", &self.clients.len())
-            .field("trace_records", &self.trace.len())
             .finish()
     }
 }
@@ -375,9 +395,9 @@ mod tests {
         assert!((0.0015..0.0035).contains(&secs), "{secs}");
         // FS record captured, device record captured.
         use bps_core::record::Layer;
-        assert_eq!(c.trace.op_count(Layer::FileSystem), 1);
-        assert_eq!(c.trace.op_count(Layer::Device), 1);
-        assert_eq!(c.trace.bytes(Layer::FileSystem), 64 << 10);
+        assert_eq!(c.sink.op_count(Layer::FileSystem), 1);
+        assert_eq!(c.sink.op_count(Layer::Device), 1);
+        assert_eq!(c.sink.bytes(Layer::FileSystem), 64 << 10);
     }
 
     #[test]
@@ -415,14 +435,32 @@ mod tests {
         let total = 4 << 20;
         let mut one = ram_cluster(1, 1);
         let a = one.remote_chunk_io(
-            ProcessId(0), FileId(0), 0, &chunk(0, total), 0, IoOp::Read, Nanos::ZERO,
+            ProcessId(0),
+            FileId(0),
+            0,
+            &chunk(0, total),
+            0,
+            IoOp::Read,
+            Nanos::ZERO,
         );
         let mut two = ram_cluster(2, 1);
         let b1 = two.remote_chunk_io(
-            ProcessId(0), FileId(0), 0, &chunk(0, total / 2), 0, IoOp::Read, Nanos::ZERO,
+            ProcessId(0),
+            FileId(0),
+            0,
+            &chunk(0, total / 2),
+            0,
+            IoOp::Read,
+            Nanos::ZERO,
         );
         let b2 = two.remote_chunk_io(
-            ProcessId(0), FileId(0), 0, &chunk(1, total / 2), 0, IoOp::Read, Nanos::ZERO,
+            ProcessId(0),
+            FileId(0),
+            0,
+            &chunk(1, total / 2),
+            0,
+            IoOp::Read,
+            Nanos::ZERO,
         );
         let b = b1.max(b2);
         // Devices run in parallel; the shared client NIC still serializes
@@ -462,7 +500,57 @@ mod tests {
         );
         let t = c.take_trace();
         assert_eq!(t.len(), 2);
-        assert!(c.trace.is_empty());
+        assert!(c.sink.is_empty());
+    }
+
+    #[test]
+    fn streaming_sink_sees_the_same_records() {
+        use bps_core::sink::StreamingMetrics;
+        let cfg = ClusterConfig {
+            servers: 1,
+            clients: 1,
+            device: DeviceSpec::Ram {
+                fixed: Dur::from_micros(100),
+                rate: 100_000_000,
+                capacity: 1 << 40,
+            },
+            sched: DiskSched::Fifo,
+            server_cpu: Dur::from_micros(25),
+            jitter: Jitter::NONE,
+            seed: 1,
+            record_device_layer: true,
+        };
+        let mut traced = Cluster::new(&cfg);
+        let mut streamed = Cluster::with_sink(&cfg, StreamingMetrics::new());
+        for c in 0..2u64 {
+            traced.remote_chunk_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                &chunk(0, 64 << 10),
+                c * 128,
+                IoOp::Read,
+                Nanos::from_micros(c * 5),
+            );
+            streamed.remote_chunk_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                &chunk(0, 64 << 10),
+                c * 128,
+                IoOp::Read,
+                Nanos::from_micros(c * 5),
+            );
+        }
+        use bps_core::record::Layer;
+        assert_eq!(
+            traced.sink.op_count(Layer::FileSystem),
+            streamed.sink.op_count(Layer::FileSystem)
+        );
+        assert_eq!(
+            traced.sink.overlapped_io_time(Layer::FileSystem),
+            streamed.sink.overlapped_io_time(Layer::FileSystem)
+        );
     }
 
     #[test]

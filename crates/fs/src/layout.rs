@@ -178,8 +178,26 @@ mod tests {
         let chunks = l.map(150, 100);
         // [150,200) on server 1 (stripe 1), [200,250) on server 0 (stripe 2).
         assert_eq!(chunks.len(), 2);
-        assert_eq!(chunks[0], Chunk { server: 1, slot: 1, server_offset: 50, file_offset: 150, len: 50 });
-        assert_eq!(chunks[1], Chunk { server: 0, slot: 0, server_offset: 100, file_offset: 200, len: 50 });
+        assert_eq!(
+            chunks[0],
+            Chunk {
+                server: 1,
+                slot: 1,
+                server_offset: 50,
+                file_offset: 150,
+                len: 50
+            }
+        );
+        assert_eq!(
+            chunks[1],
+            Chunk {
+                server: 0,
+                slot: 0,
+                server_offset: 100,
+                file_offset: 200,
+                len: 50
+            }
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::file::FileMeta;
 use crate::layout::StripeLayout;
 use bps_core::block::BLOCK_SIZE;
 use bps_core::record::{FileId, IoOp, ProcessId};
+use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
 
 /// A local file system on one server's device.
@@ -79,9 +80,9 @@ impl LocalFs {
     /// movement into the cluster trace; the caller records the
     /// application-layer view.
     #[allow(clippy::too_many_arguments)]
-    pub fn io(
+    pub fn io<S: RecordSink>(
         &mut self,
-        cluster: &mut Cluster,
+        cluster: &mut Cluster<S>,
         pid: ProcessId,
         file: FileId,
         offset: u64,
@@ -105,9 +106,9 @@ impl LocalFs {
 
     /// Convenience read.
     #[allow(clippy::too_many_arguments)]
-    pub fn read(
+    pub fn read<S: RecordSink>(
         &mut self,
-        cluster: &mut Cluster,
+        cluster: &mut Cluster<S>,
         pid: ProcessId,
         file: FileId,
         offset: u64,
@@ -119,9 +120,9 @@ impl LocalFs {
 
     /// Convenience write.
     #[allow(clippy::too_many_arguments)]
-    pub fn write(
+    pub fn write<S: RecordSink>(
         &mut self,
-        cluster: &mut Cluster,
+        cluster: &mut Cluster<S>,
         pid: ProcessId,
         file: FileId,
         offset: u64,
@@ -278,8 +279,7 @@ mod tests {
         let t_hdd = run(&mut hdd);
         let t_ssd = run(&mut ssd);
         assert!(
-            t_ssd.since(Nanos::ZERO).as_secs_f64() * 5.0
-                < t_hdd.since(Nanos::ZERO).as_secs_f64(),
+            t_ssd.since(Nanos::ZERO).as_secs_f64() * 5.0 < t_hdd.since(Nanos::ZERO).as_secs_f64(),
             "ssd {t_ssd} hdd {t_hdd}"
         );
     }

@@ -12,6 +12,7 @@ use crate::content::SparseStore;
 use crate::file::FileMeta;
 use crate::layout::StripeLayout;
 use bps_core::record::{FileId, IoOp, ProcessId};
+use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
 
 /// The parallel file system client + metadata service.
@@ -58,8 +59,7 @@ impl ParallelFs {
         let id = FileId(self.files.len() as u32);
         let mut base_lba = Vec::with_capacity(layout.width());
         for (slot, &server) in layout.servers.iter().enumerate() {
-            let share_blocks =
-                bps_core::block::blocks_for_bytes(layout.server_share(slot, size));
+            let share_blocks = bps_core::block::blocks_for_bytes(layout.server_share(slot, size));
             base_lba.push(self.alloc_cursor[server]);
             self.alloc_cursor[server] += share_blocks;
         }
@@ -81,9 +81,9 @@ impl ParallelFs {
     /// Chunks are dispatched together after the client-side overhead; the
     /// call completes when the last chunk completes.
     #[allow(clippy::too_many_arguments)]
-    pub fn io(
+    pub fn io<S: RecordSink>(
         &mut self,
-        cluster: &mut Cluster,
+        cluster: &mut Cluster<S>,
         pid: ProcessId,
         client: usize,
         file: FileId,
@@ -111,9 +111,9 @@ impl ParallelFs {
 
     /// Convenience read.
     #[allow(clippy::too_many_arguments)]
-    pub fn read(
+    pub fn read<S: RecordSink>(
         &mut self,
-        cluster: &mut Cluster,
+        cluster: &mut Cluster<S>,
         pid: ProcessId,
         client: usize,
         file: FileId,
@@ -126,9 +126,9 @@ impl ParallelFs {
 
     /// Convenience write.
     #[allow(clippy::too_many_arguments)]
-    pub fn write(
+    pub fn write<S: RecordSink>(
         &mut self,
-        cluster: &mut Cluster,
+        cluster: &mut Cluster<S>,
         pid: ProcessId,
         client: usize,
         file: FileId,
@@ -194,7 +194,7 @@ mod tests {
         for s in 0..4 {
             // Each server device saw 4 chunks. (Device stats survive
             // take_trace.)
-        let _ = s;
+            let _ = s;
         }
     }
 
@@ -265,7 +265,15 @@ mod tests {
         let mut pfs = ParallelFs::new(1);
         let f = pfs.create(8 << 20, StripeLayout::pinned(0));
         let a = pfs.read(&mut cluster, ProcessId(0), 0, f, 0, 4 << 20, Nanos::ZERO);
-        let b = pfs.read(&mut cluster, ProcessId(1), 1, f, 4 << 20, 4 << 20, Nanos::ZERO);
+        let b = pfs.read(
+            &mut cluster,
+            ProcessId(1),
+            1,
+            f,
+            4 << 20,
+            4 << 20,
+            Nanos::ZERO,
+        );
         // Second request's device service queues behind the first.
         let serial_each = 4.0 * 1024.0 * 1024.0 / 100e6;
         assert!(b.since(Nanos::ZERO).as_secs_f64() > 2.0 * serial_each * 0.9);

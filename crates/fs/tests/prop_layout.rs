@@ -7,8 +7,7 @@ use bps_fs::layout::StripeLayout;
 use proptest::prelude::*;
 
 fn layout() -> impl Strategy<Value = StripeLayout> {
-    (1u64..300_000, 1usize..9)
-        .prop_map(|(stripe, n)| StripeLayout::new(stripe, (0..n).collect()))
+    (1u64..300_000, 1usize..9).prop_map(|(stripe, n)| StripeLayout::new(stripe, (0..n).collect()))
 }
 
 proptest! {

@@ -122,9 +122,7 @@ mod tests {
         (0..nprocs)
             .map(|p| {
                 (0..blocks)
-                    .map(|b| {
-                        Extent::new((b * nprocs as u64 + p as u64) * block_size, block_size)
-                    })
+                    .map(|b| Extent::new((b * nprocs as u64 + p as u64) * block_size, block_size))
                     .collect()
             })
             .collect()
@@ -184,7 +182,12 @@ mod tests {
         let reqs = interleaved(4, 64, 4096);
         let plan = plan_collective_read(&reqs, 4);
         for a in &plan.aggregators {
-            assert!(a.reads.len() <= 2, "aggregator {} has {} reads", a.aggregator, a.reads.len());
+            assert!(
+                a.reads.len() <= 2,
+                "aggregator {} has {} reads",
+                a.aggregator,
+                a.reads.len()
+            );
         }
     }
 

@@ -13,6 +13,7 @@ use crate::collective::plan_collective_read;
 use crate::stack::IoStack;
 use bps_core::extent::{covered_bytes, normalize, Extent};
 use bps_core::record::{FileId, ProcessId};
+use bps_core::sink::RecordSink;
 use bps_core::time::Nanos;
 
 /// One process's registration at a collective call.
@@ -50,7 +51,7 @@ pub enum CollectiveOutcome {
     Complete(Vec<(usize, Nanos)>),
 }
 
-impl IoStack {
+impl<S: RecordSink> IoStack<S> {
     /// Register one process's arrival at the current collective read of
     /// `file`. When the last participant arrives, the two-phase schedule
     /// executes and per-participant completions are returned.
@@ -164,8 +165,11 @@ mod tests {
     #[test]
     fn early_arrivals_wait_last_completes() {
         let (mut s, file) = stack(3);
-        let regions =
-            |p: usize| (0..4).map(|b| Extent::new(((b * 3 + p) * 4096) as u64, 4096)).collect();
+        let regions = |p: usize| {
+            (0..4)
+                .map(|b| Extent::new(((b * 3 + p) * 4096) as u64, 4096))
+                .collect()
+        };
         assert!(matches!(
             s.collective_arrive(arrival(0, regions(0), 1), file),
             CollectiveOutcome::Wait

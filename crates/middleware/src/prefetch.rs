@@ -126,7 +126,7 @@ mod tests {
         let mut st = PrefetchState::new();
         st.on_read(Extent::new(0, 100), &CFG, 1 << 20);
         st.on_read(Extent::new(100, 100), &CFG, 1 << 20); // staged to 1200
-        // A read ending exactly at the staged edge is a hit...
+                                                          // A read ending exactly at the staged edge is a hit...
         assert_eq!(
             st.on_read(Extent::new(200, 1000), &CFG, 1 << 20),
             PrefetchDecision::Hit

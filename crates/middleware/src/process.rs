@@ -10,8 +10,8 @@
 use crate::stack::IoStack;
 use bps_core::extent::Extent;
 use bps_core::record::{FileId, ProcessId};
+use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
-use bps_core::trace::Trace;
 use bps_sim::engine::{run_processes, Process, RunOutcome, Wake, Waker};
 use bps_workloads::spec::{AppOp, OpStream, Workload};
 use std::collections::VecDeque;
@@ -66,7 +66,7 @@ impl AppProcess {
 
     /// Advance an in-flight noncontiguous call: issue its next covering
     /// read, or finish it and record the application-level call.
-    fn step_noncontig(&mut self, now: Nanos, stack: &mut IoStack) -> Wake {
+    fn step_noncontig<S: RecordSink>(&mut self, now: Nanos, stack: &mut IoStack<S>) -> Wake {
         let pending = self.pending.as_mut().expect("pending call");
         match pending.fs_reads.pop_front() {
             Some(extent) => {
@@ -107,12 +107,12 @@ impl AppProcess {
     }
 }
 
-impl Process<IoStack> for AppProcess {
+impl<S: RecordSink> Process<IoStack<S>> for AppProcess {
     fn start_time(&self) -> Nanos {
         self.start
     }
 
-    fn wake(&mut self, now: Nanos, stack: &mut IoStack, waker: &mut Waker) -> Wake {
+    fn wake(&mut self, now: Nanos, stack: &mut IoStack<S>, waker: &mut Waker) -> Wake {
         if self.pending.is_some() {
             return self.step_noncontig(now, stack);
         }
@@ -173,14 +173,16 @@ impl Process<IoStack> for AppProcess {
 
 /// Run a whole workload against a stack: one [`AppProcess`] per workload
 /// process (client nodes assigned round-robin), engine until completion.
-/// Returns the collected trace — with the application execution time set to
-/// the run's makespan, as the paper measures it — and the engine outcome.
-pub fn run_workload(
-    mut stack: IoStack,
+/// Returns the finished record sink — with the application execution time
+/// set to the run's makespan, as the paper measures it — and the engine
+/// outcome. With the default [`bps_core::trace::Trace`] sink this is the
+/// collected trace; a streaming sink yields ready-made metrics instead.
+pub fn run_workload<S: RecordSink + Default>(
+    mut stack: IoStack<S>,
     workload: &dyn Workload,
     file_map: &[FileId],
     cpu_per_op: Dur,
-) -> (Trace, RunOutcome) {
+) -> (S, RunOutcome) {
     let clients = stack.cluster.client_count();
     // Collective calls gather the whole workload group.
     stack.collective.group_size = workload.processes();
@@ -196,8 +198,8 @@ pub fn run_workload(
         })
         .collect();
     let outcome = run_processes(&mut procs, &mut stack);
-    let trace = stack.finish(outcome.makespan());
-    (trace, outcome)
+    let sink = stack.finish(outcome.makespan());
+    (sink, outcome)
 }
 
 #[cfg(test)]
@@ -303,13 +305,8 @@ mod tests {
     fn staggered_start() {
         let w = Iozone::seq_read(1 << 20, 1 << 20);
         let (mut stack, files) = pfs_stack_with_files(1, 1, &w, |_| StripeLayout::pinned(0));
-        let mut procs = vec![AppProcess::new(
-            ProcessId(0),
-            0,
-            files,
-            w.stream(0),
-        )
-        .starting_at(Nanos::from_millis(100))];
+        let mut procs = vec![AppProcess::new(ProcessId(0), 0, files, w.stream(0))
+            .starting_at(Nanos::from_millis(100))];
         let outcome = run_processes(&mut procs, &mut stack);
         assert_eq!(outcome.started_at, Nanos::from_millis(100));
         assert!(outcome.ended_at > Nanos::from_millis(100));

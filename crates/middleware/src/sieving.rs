@@ -164,8 +164,7 @@ pub fn extract<F: FnMut(Extent) -> Vec<u8>>(
     mut fetch: F,
 ) -> Vec<u8> {
     // Materialize each planned read once.
-    let buffers: Vec<(Extent, Vec<u8>)> =
-        plan.fs_reads.iter().map(|e| (*e, fetch(*e))).collect();
+    let buffers: Vec<(Extent, Vec<u8>)> = plan.fs_reads.iter().map(|e| (*e, fetch(*e))).collect();
     let mut out = Vec::with_capacity(plan.required as usize);
     for region in extent::normalize(regions) {
         let mut pos = region.offset;
@@ -315,10 +314,7 @@ mod tests {
         // `moved` — the exact mechanism behind Figure 12.
         let mut last_moved = 0;
         for spacing in [8u64, 64, 512, 4096] {
-            let plan = plan_read(
-                &strided(256, 256, spacing),
-                &SievingConfig::romio_default(),
-            );
+            let plan = plan_read(&strided(256, 256, spacing), &SievingConfig::romio_default());
             assert_eq!(plan.required, 256 * 256);
             assert!(plan.moved > last_moved, "spacing {spacing}");
             last_moved = plan.moved;

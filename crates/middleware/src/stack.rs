@@ -10,7 +10,9 @@ use crate::prefetch::{PrefetchConfig, PrefetchDecision, PrefetchState};
 use crate::sieving::{plan_read, SievingConfig};
 use bps_core::extent::Extent;
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
+use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
+use bps_core::trace::Trace;
 use bps_fs::cluster::Cluster;
 use bps_fs::localfs::LocalFs;
 use bps_fs::pfs::ParallelFs;
@@ -26,9 +28,9 @@ pub enum FsBackend {
 
 impl FsBackend {
     #[allow(clippy::too_many_arguments)]
-    fn io(
+    fn io<S: RecordSink>(
         &mut self,
-        cluster: &mut Cluster,
+        cluster: &mut Cluster<S>,
         pid: ProcessId,
         client: usize,
         file: FileId,
@@ -38,9 +40,16 @@ impl FsBackend {
     ) -> Nanos {
         match self {
             FsBackend::Local(fs) => fs.io(cluster, pid, file, extent.offset, extent.len, op, now),
-            FsBackend::Parallel(fs) => {
-                fs.io(cluster, pid, client, file, extent.offset, extent.len, op, now)
-            }
+            FsBackend::Parallel(fs) => fs.io(
+                cluster,
+                pid,
+                client,
+                file,
+                extent.offset,
+                extent.len,
+                op,
+                now,
+            ),
         }
     }
 
@@ -55,9 +64,14 @@ impl FsBackend {
 
 /// The middleware + file system + cluster, as one environment for the
 /// simulation engine.
-pub struct IoStack {
-    /// The simulated machines and the trace being collected.
-    pub cluster: Cluster,
+///
+/// Generic over the [`RecordSink`] observing the record stream: the
+/// default [`Trace`] materializes every record as before, while e.g.
+/// [`bps_core::sink::StreamingMetrics`] folds them into constant-size
+/// accumulators as each request completes.
+pub struct IoStack<S: RecordSink = Trace> {
+    /// The simulated machines and the record sink being fed.
+    pub cluster: Cluster<S>,
     /// The file system below.
     pub backend: FsBackend,
     /// Data sieving configuration for noncontiguous reads.
@@ -72,9 +86,9 @@ pub struct IoStack {
     prefetch_states: HashMap<(ProcessId, FileId), PrefetchState>,
 }
 
-impl IoStack {
+impl<S: RecordSink> IoStack<S> {
     /// Assemble a stack with ROMIO-default sieving and no prefetching.
-    pub fn new(cluster: Cluster, backend: FsBackend) -> Self {
+    pub fn new(cluster: Cluster<S>, backend: FsBackend) -> Self {
         IoStack {
             cluster,
             backend,
@@ -101,7 +115,7 @@ impl IoStack {
         start: Nanos,
         end: Nanos,
     ) {
-        self.cluster.trace.push(IoRecord::new(
+        self.cluster.sink.on_record(&IoRecord::new(
             pid,
             op,
             file,
@@ -191,8 +205,15 @@ impl IoStack {
         extent: Extent,
         now: Nanos,
     ) -> Nanos {
-        self.backend
-            .io(&mut self.cluster, pid, client, file, extent, IoOp::Read, now)
+        self.backend.io(
+            &mut self.cluster,
+            pid,
+            client,
+            file,
+            extent,
+            IoOp::Read,
+            now,
+        )
     }
 
     /// Record one application-level read call (used by multi-wake
@@ -249,12 +270,15 @@ impl IoStack {
         t
     }
 
-    /// Finish a run: pull the collected trace out, stamping the application
-    /// execution time.
-    pub fn finish(&mut self, exec_time: Dur) -> bps_core::trace::Trace {
-        let mut trace = self.cluster.take_trace();
-        trace.set_execution_time(exec_time);
-        trace
+    /// Finish a run: stamp the application execution time into the sink and
+    /// pull it out (for the default [`Trace`] sink this is the collected
+    /// trace, exactly as before).
+    pub fn finish(&mut self, exec_time: Dur) -> S
+    where
+        S: Default,
+    {
+        self.cluster.sink.on_execution_time(exec_time);
+        std::mem::take(&mut self.cluster.sink)
     }
 }
 

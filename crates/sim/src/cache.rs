@@ -141,9 +141,21 @@ mod tests {
     fn cold_then_warm() {
         let mut c = PageCache::new(1 << 20); // 256 pages
         let first = c.access(0, 0, 64 << 10); // 16 pages
-        assert_eq!(first, CacheLookup { hits: 0, misses: 16 });
+        assert_eq!(
+            first,
+            CacheLookup {
+                hits: 0,
+                misses: 16
+            }
+        );
         let second = c.access(0, 0, 64 << 10);
-        assert_eq!(second, CacheLookup { hits: 16, misses: 0 });
+        assert_eq!(
+            second,
+            CacheLookup {
+                hits: 16,
+                misses: 0
+            }
+        );
         assert_eq!(c.hits(), 16);
         assert_eq!(c.misses(), 16);
     }

@@ -115,9 +115,8 @@ impl DeviceModel for Hdd {
         } else {
             let seek = self.seek_time(distance);
             // Rotational latency: uniform over one revolution.
-            let rot = Dur::from_secs_f64(
-                self.profile.rotation_period().as_secs_f64() * ctx.rng.unit(),
-            );
+            let rot =
+                Dur::from_secs_f64(self.profile.rotation_period().as_secs_f64() * ctx.rng.unit());
             let raw = seek + rot;
             match ctx.sched {
                 DiskSched::Elevator if ctx.queued => {
@@ -226,10 +225,16 @@ mod tests {
         hdd.service_time(&read(0, 8), &mut ctx(&mut rng, false, DiskSched::Fifo));
         let near = hdd.service_time(&read(16_384, 8), &mut ctx(&mut rng, false, DiskSched::Fifo));
         let far_lba = hdd.capacity_blocks() / 2;
-        let far = hdd.service_time(&read(far_lba, 8), &mut ctx(&mut rng, false, DiskSched::Fifo));
+        let far = hdd.service_time(
+            &read(far_lba, 8),
+            &mut ctx(&mut rng, false, DiskSched::Fifo),
+        );
         assert!(near < far, "near {near} far {far}");
         // Near hop: t2t (0.8 ms) + quarter rotation (~2.1 ms) + transfer.
-        assert!(near > Dur::from_millis(2) && near < Dur::from_millis(4), "{near}");
+        assert!(
+            near > Dur::from_millis(2) && near < Dur::from_millis(4),
+            "{near}"
+        );
     }
 
     #[test]

@@ -59,9 +59,8 @@ impl DeviceModel for Raid0 {
             self.member.track_to_track_seek + self.member.rotation_period() / 4
         } else {
             let seek = self.seek_time(distance);
-            let rot = Dur::from_secs_f64(
-                self.member.rotation_period().as_secs_f64() * ctx.rng.unit(),
-            );
+            let rot =
+                Dur::from_secs_f64(self.member.rotation_period().as_secs_f64() * ctx.rng.unit());
             let raw = seek + rot;
             match ctx.sched {
                 DiskSched::Elevator if ctx.queued => {

@@ -67,8 +67,7 @@ impl DeviceModel for Ssd {
             IoOp::Read => self.profile.read_latency,
             IoOp::Write => self.profile.write_latency,
         };
-        let transfer =
-            Dur::from_secs_f64(req.bytes() as f64 / self.profile.channel_rate as f64);
+        let transfer = Dur::from_secs_f64(req.bytes() as f64 / self.profile.channel_rate as f64);
         latency + transfer
     }
 
@@ -84,8 +83,8 @@ impl DeviceModel for Ssd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::SimRng;
     use crate::device::DiskSched;
+    use crate::rng::SimRng;
 
     fn service(ssd: &mut Ssd, req: DeviceReq) -> Dur {
         let mut rng = SimRng::seed_from_u64(0);

@@ -69,7 +69,9 @@ fn run() -> Result<(), String> {
                     row.bytes,
                     row.arpt_s * 1e3,
                     row.io_time_s,
-                    row.bps.map(|b| format!("{b:.0}")).unwrap_or_else(|| "n/a".into()),
+                    row.bps
+                        .map(|b| format!("{b:.0}"))
+                        .unwrap_or_else(|| "n/a".into()),
                 );
             }
             Ok(())
@@ -83,7 +85,10 @@ fn run() -> Result<(), String> {
             let trace = load(Path::new(path))?;
             let series = windowed_series(&trace, Dur::from_millis(window_ms));
             println!("windowed BPS, {window_ms} ms windows:");
-            println!("{}", sparkline(&series.iter().map(|p| p.bps).collect::<Vec<_>>()));
+            println!(
+                "{}",
+                sparkline(&series.iter().map(|p| p.bps).collect::<Vec<_>>())
+            );
             for p in &series {
                 match p.bps {
                     Some(b) => println!(
@@ -143,7 +148,9 @@ fn run() -> Result<(), String> {
             println!("wrote {} records to {to}", trace.len());
             Ok(())
         }
-        _ => Err("usage: bpstool <summary|processes|timeline|validate|compare|convert> ...".to_string()),
+        _ => Err(
+            "usage: bpstool <summary|processes|timeline|validate|compare|convert> ...".to_string(),
+        ),
     }
 }
 

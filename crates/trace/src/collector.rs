@@ -11,7 +11,7 @@
 
 use bps_core::record::IoRecord;
 use bps_core::trace::Trace;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// Batch collector: accumulate record batches, produce the final
 /// [`Trace`].
@@ -64,7 +64,7 @@ pub type StreamSender = Sender<IoRecord>;
 impl StreamCollector {
     /// Create the channel-backed collector.
     pub fn new() -> Self {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         StreamCollector { rx, tx: Some(tx) }
     }
 

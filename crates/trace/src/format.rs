@@ -14,7 +14,6 @@ use bps_core::block::{blocks_for_bytes, BLOCK_SIZE};
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
 use bps_core::time::Nanos;
 use bps_core::trace::Trace;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io;
 
 /// Size of one binary record on disk.
@@ -47,7 +46,11 @@ fn op_layer_flags(op: IoOp, layer: Layer) -> u8 {
 }
 
 fn decode_flags(flags: u8) -> io::Result<(IoOp, Layer)> {
-    let op = if flags & 1 == 0 { IoOp::Read } else { IoOp::Write };
+    let op = if flags & 1 == 0 {
+        IoOp::Read
+    } else {
+        IoOp::Write
+    };
     let layer = match (flags >> 1) & 0b11 {
         0 => Layer::Application,
         1 => Layer::FileSystem,
@@ -67,53 +70,83 @@ fn decode_flags(flags: u8) -> io::Result<(IoOp, Layer)> {
 /// Layout per record (little-endian):
 /// `pid: u32 | size_blocks: u32 | start: u64 | end: u64 | file: u32 |
 /// flags: u8 | reserved: [u8; 3]`.
-pub fn to_binary(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + trace.len() * BINARY_RECORD_SIZE);
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(trace.len() as u64);
+pub fn to_binary(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + trace.len() * BINARY_RECORD_SIZE);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(trace.len() as u64).to_le_bytes());
     for r in trace.records() {
-        buf.put_u32_le(r.pid.0);
-        buf.put_u32_le(blocks_for_bytes(r.bytes) as u32);
-        buf.put_u64_le(r.start.0);
-        buf.put_u64_le(r.end.0);
-        buf.put_u32_le(r.file.0);
-        buf.put_u8(op_layer_flags(r.op, r.layer));
-        buf.put_slice(&[0u8; 3]);
+        buf.extend_from_slice(&r.pid.0.to_le_bytes());
+        buf.extend_from_slice(&(blocks_for_bytes(r.bytes) as u32).to_le_bytes());
+        buf.extend_from_slice(&r.start.0.to_le_bytes());
+        buf.extend_from_slice(&r.end.0.to_le_bytes());
+        buf.extend_from_slice(&r.file.0.to_le_bytes());
+        buf.push(op_layer_flags(r.op, r.layer));
+        buf.extend_from_slice(&[0u8; 3]);
     }
-    buf.freeze()
+    buf
+}
+
+/// Little-endian reader over a byte slice for [`from_binary`].
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl Cursor<'_> {
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, rest) = self.data.split_at(N);
+        self.data = rest;
+        head.try_into().expect("split_at returned N bytes")
+    }
+
+    fn u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take())
+    }
+
+    fn u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    fn u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+
+    fn skip(&mut self, n: usize) {
+        self.data = &self.data[n..];
+    }
 }
 
 /// Decode the binary format. Byte sizes come back block-rounded (the
 /// format stores block counts, as the paper's record does); offsets come
 /// back as zero.
-pub fn from_binary(mut data: &[u8]) -> io::Result<Trace> {
+pub fn from_binary(data: &[u8]) -> io::Result<Trace> {
     if data.len() < 16 || &data[..8] != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "not a BPS binary trace",
         ));
     }
-    data.advance(8);
-    let count = data.get_u64_le() as usize;
-    if data.len() != count * BINARY_RECORD_SIZE {
+    let mut data = Cursor { data };
+    data.skip(8);
+    let count = data.u64_le() as usize;
+    if data.data.len() != count * BINARY_RECORD_SIZE {
         return Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
             format!(
                 "expected {} record bytes, found {}",
                 count * BINARY_RECORD_SIZE,
-                data.len()
+                data.data.len()
             ),
         ));
     }
     let mut trace = Trace::new();
     for _ in 0..count {
-        let pid = ProcessId(data.get_u32_le());
-        let blocks = u64::from(data.get_u32_le());
-        let start = Nanos(data.get_u64_le());
-        let end = Nanos(data.get_u64_le());
-        let file = FileId(data.get_u32_le());
-        let flags = data.get_u8();
-        data.advance(3);
+        let pid = ProcessId(data.u32_le());
+        let blocks = u64::from(data.u32_le());
+        let start = Nanos(data.u64_le());
+        let end = Nanos(data.u64_le());
+        let file = FileId(data.u32_le());
+        let flags = data.u8();
+        data.skip(3);
         let (op, layer) = decode_flags(flags)?;
         if end < start {
             return Err(io::Error::new(

@@ -11,8 +11,7 @@
 
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
 use bps_core::time::Nanos;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A begun-but-unfinished access, returned by [`ProcessRecorder::begin`].
 #[derive(Debug, Clone, Copy)]
@@ -139,12 +138,15 @@ impl SharedRecorder {
         start: Nanos,
         end: Nanos,
     ) {
-        self.inner.lock().record(op, file, offset, bytes, start, end);
+        self.inner
+            .lock()
+            .expect("recorder lock poisoned")
+            .record(op, file, offset, bytes, start, end);
     }
 
     /// Number of records so far.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().expect("recorder lock poisoned").len()
     }
 
     /// True when nothing has been recorded.
@@ -154,7 +156,7 @@ impl SharedRecorder {
 
     /// Drain the records.
     pub fn drain(&self) -> Vec<IoRecord> {
-        self.inner.lock().drain()
+        self.inner.lock().expect("recorder lock poisoned").drain()
     }
 }
 
@@ -178,7 +180,14 @@ mod tests {
     #[test]
     fn drain_empties() {
         let mut r = ProcessRecorder::new(ProcessId(0));
-        r.record(IoOp::Write, FileId(0), 0, 512, Nanos::ZERO, Nanos::from_micros(1));
+        r.record(
+            IoOp::Write,
+            FileId(0),
+            0,
+            512,
+            Nanos::ZERO,
+            Nanos::from_micros(1),
+        );
         let v = r.drain();
         assert_eq!(v.len(), 1);
         assert!(r.is_empty());
@@ -187,7 +196,14 @@ mod tests {
     #[test]
     fn layer_override() {
         let mut r = ProcessRecorder::at_layer(ProcessId(0), Layer::FileSystem);
-        r.record(IoOp::Read, FileId(0), 0, 512, Nanos::ZERO, Nanos::from_micros(1));
+        r.record(
+            IoOp::Read,
+            FileId(0),
+            0,
+            512,
+            Nanos::ZERO,
+            Nanos::from_micros(1),
+        );
         assert_eq!(r.records()[0].layer, Layer::FileSystem);
     }
 

@@ -194,13 +194,15 @@ mod tests {
             rec(0, 512, 30, 40),
         ]);
         let f = validate(&t);
-        assert!(f.iter().any(|x| x.check == "zero-duration"
-            && x.severity == Severity::Warning));
+        assert!(f
+            .iter()
+            .any(|x| x.check == "zero-duration" && x.severity == Severity::Warning));
         // All of them: error.
         let t = Trace::from_records(vec![rec(0, 512, 5, 5), rec(0, 512, 9, 9)]);
         let f = validate(&t);
-        assert!(f.iter().any(|x| x.check == "zero-duration"
-            && x.severity == Severity::Error));
+        assert!(f
+            .iter()
+            .any(|x| x.check == "zero-duration" && x.severity == Severity::Error));
         assert!(!is_usable(&f));
     }
 

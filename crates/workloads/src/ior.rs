@@ -131,10 +131,7 @@ mod tests {
     fn write_mode_emits_writes() {
         let mut w = Ior::shared_read(2, 1 << 20);
         w.write = true;
-        assert!(matches!(
-            w.stream(0).next().unwrap(),
-            AppOp::Write { .. }
-        ));
+        assert!(matches!(w.stream(0).next().unwrap(), AppOp::Write { .. }));
     }
 
     #[test]

@@ -176,10 +176,7 @@ mod tests {
         w.op = IoOp::Write;
         let t = Trace::from_records(vec![w]);
         let r = Replay::from_trace(&t);
-        assert!(matches!(
-            r.stream(0).next().unwrap(),
-            AppOp::Write { .. }
-        ));
+        assert!(matches!(r.stream(0).next().unwrap(), AppOp::Write { .. }));
     }
 
     #[test]

@@ -52,9 +52,7 @@ impl AppOp {
         match self {
             AppOp::Read { extent, .. } | AppOp::Write { extent, .. } => extent.len,
             AppOp::ReadNoncontig { regions, .. }
-            | AppOp::CollectiveReadNoncontig { regions, .. } => {
-                regions.iter().map(|r| r.len).sum()
-            }
+            | AppOp::CollectiveReadNoncontig { regions, .. } => regions.iter().map(|r| r.len).sum(),
             AppOp::Compute { .. } => 0,
         }
     }
@@ -65,7 +63,11 @@ pub type OpStream = Box<dyn Iterator<Item = AppOp> + Send>;
 
 /// A benchmark program: how many processes, which files, and what each
 /// process does.
-pub trait Workload {
+///
+/// `Sync` is a supertrait so a sweep executor can drive the same workload
+/// from several threads at once; implementations are plain descriptions
+/// (`stream` returns a fresh iterator), so this costs them nothing.
+pub trait Workload: Sync {
     /// Display name ("iozone", "ior", "hpio", ...).
     fn name(&self) -> &'static str;
 

@@ -211,7 +211,10 @@ mod tests {
             })
             .collect();
         assert_eq!(gaps.len(), 10);
-        assert_eq!(gaps.iter().filter(|d| **d == Dur::from_millis(1)).count(), 2);
+        assert_eq!(
+            gaps.iter().filter(|d| **d == Dur::from_millis(1)).count(),
+            2
+        );
     }
 
     #[test]

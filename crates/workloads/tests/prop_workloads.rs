@@ -11,8 +11,9 @@ use proptest::prelude::*;
 fn op_extents(op: &AppOp) -> Vec<Extent> {
     match op {
         AppOp::Read { extent, .. } | AppOp::Write { extent, .. } => vec![*extent],
-        AppOp::ReadNoncontig { regions, .. }
-        | AppOp::CollectiveReadNoncontig { regions, .. } => regions.clone(),
+        AppOp::ReadNoncontig { regions, .. } | AppOp::CollectiveReadNoncontig { regions, .. } => {
+            regions.clone()
+        }
         AppOp::Compute { .. } => vec![],
     }
 }

@@ -40,7 +40,12 @@ impl Workload for Interleaved {
     }
     fn stream(&self, pid: usize) -> OpStream {
         let regions: Vec<Extent> = (0..self.blocks_per_proc)
-            .map(|b| Extent::new((b * self.procs as u64 + pid as u64) * self.block, self.block))
+            .map(|b| {
+                Extent::new(
+                    (b * self.procs as u64 + pid as u64) * self.block,
+                    self.block,
+                )
+            })
             .collect();
         let op = if self.collective {
             AppOp::CollectiveReadNoncontig { file: 0, regions }
@@ -74,7 +79,10 @@ fn main() {
     println!("interleaved pattern: 4 processes x 256 blocks x 64 KiB (64 MiB union)\n");
     let indep = run(false);
     let coll = run(true);
-    for (label, t) in [("independent + sieving", &indep), ("two-phase collective ", &coll)] {
+    for (label, t) in [
+        ("independent + sieving", &indep),
+        ("two-phase collective ", &coll),
+    ] {
         println!(
             "{label}: exec {:>7.3} s   FS moved {:>4} MiB   BPS {:>10.0}",
             t.execution_time().as_secs_f64(),

@@ -17,19 +17,52 @@ fn main() {
     let mib = 1 << 20;
     let ms = Nanos::from_millis;
     let mut trace = Trace::new();
-    trace.push(IoRecord::app_read(ProcessId(0), FileId(0), 0, mib, ms(0), ms(4)));
-    trace.push(IoRecord::app_read(ProcessId(1), FileId(0), mib, mib, ms(1), ms(5)));
-    trace.push(IoRecord::app_read(ProcessId(2), FileId(0), 2 * mib, mib, ms(2), ms(6)));
-    trace.push(IoRecord::app_read(ProcessId(0), FileId(0), 3 * mib, mib, ms(7), ms(9)));
+    trace.push(IoRecord::app_read(
+        ProcessId(0),
+        FileId(0),
+        0,
+        mib,
+        ms(0),
+        ms(4),
+    ));
+    trace.push(IoRecord::app_read(
+        ProcessId(1),
+        FileId(0),
+        mib,
+        mib,
+        ms(1),
+        ms(5),
+    ));
+    trace.push(IoRecord::app_read(
+        ProcessId(2),
+        FileId(0),
+        2 * mib,
+        mib,
+        ms(2),
+        ms(6),
+    ));
+    trace.push(IoRecord::app_read(
+        ProcessId(0),
+        FileId(0),
+        3 * mib,
+        mib,
+        ms(7),
+        ms(9),
+    ));
 
     // Step 2: the records above are already gathered into one collection.
     // Step 3: the overlapped I/O time T (idle [6ms, 7ms) excluded).
     let t = trace.overlapped_io_time(Layer::Application);
     let b = trace.app_blocks();
     println!("B = {b} blocks required by the application");
-    println!("T = {t} of overlapped I/O time (naive sum would be {})",
-        trace.summed_io_time(Layer::Application));
-    println!("BPS = B / T = {:.1} blocks/s\n", Bps.compute(&trace).unwrap());
+    println!(
+        "T = {t} of overlapped I/O time (naive sum would be {})",
+        trace.summed_io_time(Layer::Application)
+    );
+    println!(
+        "BPS = B / T = {:.1} blocks/s\n",
+        Bps.compute(&trace).unwrap()
+    );
 
     // The complete metric suite for the same trace.
     println!("{}", MetricsSummary::from_trace(&trace));

@@ -7,8 +7,8 @@
 //! cargo run --release --example real_file_trace
 //! ```
 
-use bps::core::report::MetricsSummary;
 use bps::core::record::FileId;
+use bps::core::report::MetricsSummary;
 use bps::trace::realfile::{trace_session, TracedFile};
 use std::io::{Read, Seek, SeekFrom, Write};
 

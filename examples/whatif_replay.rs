@@ -29,7 +29,8 @@ fn main() -> std::io::Result<()> {
         let mut f = TracedFile::open(&path, FileId(0), rec.clone(), clock.clone()).unwrap();
         let mut small = vec![0u8; 4096];
         for i in 0..256u64 {
-            f.seek(SeekFrom::Start((i * 31 * 4096) % (8 << 20))).unwrap();
+            f.seek(SeekFrom::Start((i * 31 * 4096) % (8 << 20)))
+                .unwrap();
             f.read_exact(&mut small).unwrap();
         }
     });

@@ -28,10 +28,7 @@ fn different_seeds_same_structure_different_timing() {
     let b = run_case(&spec, 2);
     // Same request structure...
     assert_eq!(a.len(), b.len());
-    assert_eq!(
-        a.bytes(Layer::Application),
-        b.bytes(Layer::Application)
-    );
+    assert_eq!(a.bytes(Layer::Application), b.bytes(Layer::Application));
     assert_eq!(a.bytes(Layer::FileSystem), b.bytes(Layer::FileSystem));
     // ...different timing.
     assert_ne!(a.execution_time(), b.execution_time());

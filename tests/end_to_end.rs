@@ -10,8 +10,8 @@ use bps::experiments::runner::{run_case, CaseSpec, LayoutPolicy, Storage};
 use bps::fs::layout::StripeLayout;
 use bps::middleware::process::run_workload;
 use bps::middleware::stack::{FsBackend, IoStack};
-use bps::workloads::iozone::Iozone;
 use bps::workloads::ior::Ior;
+use bps::workloads::iozone::Iozone;
 use bps::workloads::spec::Workload;
 
 fn pvfs_stack(servers: usize, clients: usize, seed: u64) -> bps::fs::cluster::Cluster {

@@ -1,0 +1,349 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serialization framework with the same
+//! surface the code actually uses: `#[derive(Serialize, Deserialize)]`
+//! (named-field structs, newtype structs via `#[serde(transparent)]`, and
+//! unit-variant enums), plus impls for the primitives, `String`, `Option`,
+//! `Vec`, and small tuples. Instead of serde's visitor architecture it
+//! round-trips everything through an owned [`Value`] tree; `serde_json`
+//! renders and parses that tree as JSON text.
+//!
+//! Field order in [`Value::Object`] is declaration order, so serialized
+//! output is deterministic — a property the experiment determinism tests
+//! rely on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A serialized value tree (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; pairs kept in insertion (declaration) order.
+    Object(Vec<(String, Value)>),
+}
+
+/// The shared null used when an object field is absent.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// Look up an object field; absent fields read as `null` (so `Option`
+    /// fields deserialize to `None` and everything else errors).
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => Ok(pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(Error(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert to a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    ref other => {
+                        return Err(Error(format!(
+                            "expected unsigned integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )+};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 {
+                    Value::Int(n)
+                } else {
+                    Value::UInt(n as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match *v {
+                    Value::Int(n) => n,
+                    Value::UInt(n) => i64::try_from(n)
+                        .map_err(|_| Error(format!("integer {n} out of range")))?,
+                    ref other => {
+                        return Err(Error(format!(
+                            "expected integer, found {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| {
+                    Error(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )+};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Float(x) => Ok(x),
+            Value::UInt(n) => Ok(n as f64),
+            Value::Int(n) => Ok(n as f64),
+            ref other => Err(Error(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(Error(format!(
+                        "expected {LEN}-tuple, found array of {}",
+                        items.len()
+                    ))),
+                    other => Err(Error(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    )+};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<f64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::Float(2.0)).unwrap(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn missing_field_reads_null() {
+        let obj = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(obj.field("a").unwrap(), &Value::UInt(1));
+        assert_eq!(obj.field("b").unwrap(), &Value::Null);
+        assert!(u64::from_value(obj.field("b").unwrap()).is_err());
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        let t = ("x".to_string(), 1.5f64, 2u64);
+        let v = t.to_value();
+        let back: (String, f64, u64) = Deserialize::from_value(&v).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates [`Serialize`]/[`Deserialize`] impls for the shapes the
+//! workspace actually uses, parsing the item with `proc_macro` alone (no
+//! `syn`/`quote` — the build environment is offline):
+//!
+//! * named-field structs → `Value::Object` in declaration order,
+//! * single-field tuple structs (always treated as
+//!   `#[serde(transparent)]`, which is how every one in the workspace is
+//!   marked) → the inner value,
+//! * enums with unit variants only → the variant name as a string.
+//!
+//! Anything else (generics, data-carrying enum variants, multi-field tuple
+//! structs) fails loudly at expansion time rather than generating wrong
+//! code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct; field names in declaration order.
+    Named(Vec<String>),
+    /// Single-field tuple struct (serialized transparently).
+    Newtype,
+    /// Enum of unit variants; variant names in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Split a token stream at top-level commas. Tracks `<`/`>` depth so
+/// commas inside generic arguments (which are bare puncts, not a token
+/// group) don't split a field in two.
+fn split_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                cur.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(tt),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) from a token slice, returning the rest.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_item(input: TokenStream, derive: &str) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive({derive}): expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive({derive}): expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive({derive}) on `{name}`: generic items are not supported");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            // Tuple struct: only single-field (newtype) supported.
+            let fields = split_commas(g.stream());
+            if kind != "struct" || fields.len() != 1 {
+                panic!("derive({derive}) on `{name}`: only newtype tuple structs are supported");
+            }
+            return Item {
+                name,
+                shape: Shape::Newtype,
+            };
+        }
+        other => panic!("derive({derive}) on `{name}`: unsupported item body {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => {
+            let fields = split_commas(body)
+                .into_iter()
+                .map(|f| {
+                    let rest = strip_attrs_and_vis(&f);
+                    match rest.first() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!(
+                            "derive({derive}) on `{name}`: expected field name, found {other:?}"
+                        ),
+                    }
+                })
+                .collect();
+            Item {
+                name,
+                shape: Shape::Named(fields),
+            }
+        }
+        "enum" => {
+            let variants = split_commas(body)
+                .into_iter()
+                .map(|v| {
+                    let rest = strip_attrs_and_vis(&v);
+                    match rest {
+                        [TokenTree::Ident(id)] => id.to_string(),
+                        _ => panic!(
+                            "derive({derive}) on `{name}`: only unit enum variants are supported"
+                        ),
+                    }
+                })
+                .collect();
+            Item {
+                name,
+                shape: Shape::UnitEnum(variants),
+            }
+        }
+        other => panic!("derive({derive}): unsupported item kind `{other}`"),
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Serialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(" "))
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input, "Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(" "))
+        }
+        Shape::Newtype => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::Error(format!(\n\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => Err(::serde::Error(format!(\n\
+                         \"expected string for {name}, found {{}}\", other.kind()))),\n\
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Deserialize): generated code failed to parse")
+}
