@@ -55,6 +55,11 @@ pub enum Layer {
     FileSystem,
     /// What the block device actually served.
     Device,
+    /// A failed or abandoned attempt of a retried request. Retry records
+    /// are sub-records of the application call that eventually succeeds
+    /// (or gives up); they document degraded-mode work without counting
+    /// toward any of the four paper metrics.
+    Retry,
 }
 
 /// One I/O access: the unit of the BPS measurement methodology.

@@ -91,6 +91,7 @@ pub struct StreamingMetrics {
     app: LayerAcc,
     fs: LayerAcc,
     device_ops: u64,
+    retry_ops: u64,
     first_start: Option<Nanos>,
     last_end: Option<Nanos>,
     exec_time: Option<Dur>,
@@ -154,13 +155,13 @@ impl StreamingMetrics {
     }
 
     /// Overlapped I/O time at a layer (the `T` of equation (1) when
-    /// `layer` is `Application`). Zero for `Device`: the streaming path
-    /// tracks the layers the metrics read.
+    /// `layer` is `Application`). Zero for `Device` and `Retry`: the
+    /// streaming path tracks the layers the metrics read.
     pub fn overlapped_io_time(&self, layer: Layer) -> Dur {
         match layer {
             Layer::Application => self.app.union.total(),
             Layer::FileSystem => self.fs.union.total(),
-            Layer::Device => Dur::ZERO,
+            Layer::Device | Layer::Retry => Dur::ZERO,
         }
     }
 
@@ -170,6 +171,7 @@ impl StreamingMetrics {
             Layer::Application => self.app.ops,
             Layer::FileSystem => self.fs.ops,
             Layer::Device => self.device_ops,
+            Layer::Retry => self.retry_ops,
         }
     }
 
@@ -204,6 +206,7 @@ impl RecordSink for StreamingMetrics {
             Layer::Application => self.app.observe(record),
             Layer::FileSystem => self.fs.observe(record),
             Layer::Device => self.device_ops += 1,
+            Layer::Retry => self.retry_ops += 1,
         }
     }
 
@@ -269,6 +272,32 @@ mod tests {
         s.on_record(&rec(0, Layer::Application, 512, 0, 10));
         s.on_execution_time(Dur::from_micros(1234));
         assert_eq!(s.execution_time(), Dur::from_micros(1234));
+    }
+
+    #[test]
+    fn retry_records_do_not_move_the_metrics() {
+        let healthy = [
+            rec(0, Layer::Application, 4096, 0, 40),
+            rec(0, Layer::FileSystem, 4096, 5, 35),
+        ];
+        let mut plain = StreamingMetrics::new();
+        let mut faulted = StreamingMetrics::new();
+        for r in &healthy {
+            plain.on_record(r);
+            faulted.on_record(r);
+        }
+        faulted.on_record(&rec(0, Layer::Retry, 4096, 5, 20));
+        assert_eq!(plain.bps(), faulted.bps());
+        assert_eq!(plain.iops(), faulted.iops());
+        assert_eq!(plain.bandwidth(), faulted.bandwidth());
+        assert_eq!(plain.arpt(), faulted.arpt());
+        assert_eq!(faulted.op_count(Layer::Retry), 1);
+        assert_eq!(faulted.overlapped_io_time(Layer::Retry), Dur::ZERO);
+        // Trace agrees on the retry count (its queries filter by layer).
+        cross_check(&[
+            rec(0, Layer::Application, 4096, 0, 40),
+            rec(0, Layer::Retry, 4096, 5, 20),
+        ]);
     }
 
     #[test]

@@ -9,17 +9,25 @@
 
 use bps_experiments::export;
 use bps_experiments::figures::{
-    extensions, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12,
-    overhead, summary, tables, writes,
+    extensions, faults, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
+    fig11, fig12, overhead, summary, tables, writes,
 };
 use bps_experiments::scale::Scale;
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce <all|table1|table2|fig1..fig12|summary|extensions|overhead|writes> [--quick|--tiny|--paper] [--csv <dir>]"
+        "usage: reproduce <all|table1|table2|fig1..fig12|summary|extensions|overhead|writes|faults> [--quick|--tiny|--paper] [--csv <dir>]"
     );
     std::process::exit(2);
+}
+
+/// Exit with a one-line diagnostic (used for I/O failures: a CSV directory
+/// that cannot be created or written must not panic the whole reproduction
+/// run, just report and fail).
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
 }
 
 fn main() {
@@ -72,6 +80,7 @@ fn main() {
         "extensions",
         "overhead",
         "writes",
+        "faults",
     ];
     let expanded: Vec<&str> = if targets.iter().any(|t| t == "all") {
         all.to_vec()
@@ -81,16 +90,24 @@ fn main() {
 
     let export_cc = |name: &str, fig: &bps_experiments::figures::common::CcFigure| {
         if let Some(dir) = &csv_dir {
-            let path =
-                export::write_csv(dir, name, &export::cc_figure_csv(fig)).expect("write csv");
-            eprintln!("wrote {}", path.display());
+            match export::write_csv(dir, name, &export::cc_figure_csv(fig)) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => fail(format_args!(
+                    "cannot write {name}.csv under {}: {e}",
+                    dir.display()
+                )),
+            }
         }
     };
     let export_detail = |name: &str, s: &bps_experiments::figures::common::DetailSeries| {
         if let Some(dir) = &csv_dir {
-            let path =
-                export::write_csv(dir, name, &export::detail_series_csv(s)).expect("write csv");
-            eprintln!("wrote {}", path.display());
+            match export::write_csv(dir, name, &export::detail_series_csv(s)) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => fail(format_args!(
+                    "cannot write {name}.csv under {}: {e}",
+                    dir.display()
+                )),
+            }
         }
     };
 
@@ -150,6 +167,13 @@ fn main() {
             "extensions" => print!("{}", extensions::report(&scale)),
             "overhead" => print!("{}", overhead::report()),
             "writes" => print!("{}", writes::report(&scale)),
+            "faults" => {
+                let figures = faults::run(&scale);
+                for (kind, fig) in &figures {
+                    export_cc(&format!("faults-{}", kind.name()), fig);
+                }
+                print!("{}", faults::render(&figures));
+            }
             other => {
                 eprintln!("unknown target: {other}");
                 usage();

@@ -14,11 +14,13 @@
 //! | [`fig12`] | Figure 12: data-sieving additional-data-movement CC |
 //! | [`summary`] | §IV.C.5: the cross-experiment summary |
 //! | [`extensions`] | future-work extension: optimization combos ranked by BPS |
+//! | [`faults`] | extension (Set 5): CC under fault injection / degraded mode |
 //! | [`overhead`] | §III.C: measurement overhead (space + time) |
 //! | [`writes`] | extension: the Set 2 sweep with sequential writes |
 
 pub mod common;
 pub mod extensions;
+pub mod faults;
 pub mod fig01;
 pub mod fig02;
 pub mod fig03;

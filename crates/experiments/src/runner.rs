@@ -18,10 +18,11 @@ use bps_fs::localfs::LocalFs;
 use bps_fs::pfs::ParallelFs;
 use bps_middleware::process::run_workload;
 use bps_middleware::sieving::SievingConfig;
-use bps_middleware::stack::{FsBackend, IoStack};
+use bps_middleware::stack::{FsBackend, IoStack, RetryPolicy};
 use bps_sim::device::hdd::HddProfile;
 use bps_sim::device::ssd::SsdProfile;
 use bps_sim::device::DiskSched;
+use bps_sim::fault::FaultPlan;
 use bps_sim::rng::{Jitter, SimRng};
 use bps_workloads::spec::Workload;
 use serde::Serialize;
@@ -65,6 +66,11 @@ pub struct CaseSpec<'a> {
     pub sieving: SievingConfig,
     /// Per-op CPU cost charged by each application process.
     pub cpu_per_op: Dur,
+    /// Fault injection plan ([`FaultPlan::none()`] = healthy cluster,
+    /// bit-for-bit identical to the pre-fault code path).
+    pub fault: FaultPlan,
+    /// Middleware timeout/retry/backoff behavior under faults.
+    pub retry: RetryPolicy,
 }
 
 impl<'a> CaseSpec<'a> {
@@ -77,7 +83,15 @@ impl<'a> CaseSpec<'a> {
             layout: LayoutPolicy::DefaultStripe,
             sieving: SievingConfig::romio_default(),
             cpu_per_op: Dur::from_micros(5),
+            fault: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Same case under a fault plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
     }
 }
 
@@ -116,6 +130,7 @@ pub fn run_case_with<S: RecordSink + Default>(spec: &CaseSpec<'_>, seed: u64, si
         jitter: Jitter::DEFAULT,
         seed,
         record_device_layer: false,
+        fault: spec.fault.clone(),
     };
     let cluster = Cluster::with_sink(&cfg, sink);
     let file_sizes = spec.workload.file_sizes();
@@ -142,6 +157,7 @@ pub fn run_case_with<S: RecordSink + Default>(spec: &CaseSpec<'_>, seed: u64, si
     };
     let mut stack = IoStack::new(cluster, backend);
     stack.sieving = spec.sieving;
+    stack.retry = spec.retry;
     let (sink, _outcome) = run_workload(stack, spec.workload, &file_map, spec.cpu_per_op);
     sink
 }
@@ -176,11 +192,24 @@ impl CasePoint {
     /// Average already-finished per-seed runs into one point (runs in seed
     /// order). A seed where a metric is undefined (e.g. a zero-time run)
     /// is counted and skipped with a warning rather than poisoning the
-    /// mean with NaN; if *every* run leaves a metric undefined, that
-    /// metric is NaN and downstream correlation scoring reports `n/a`.
+    /// mean with NaN; if *every* run leaves a metric undefined — including
+    /// the degenerate case of no surviving runs at all, e.g. when every
+    /// seed of a case panicked and was isolated by the sweep executor —
+    /// that metric is NaN and downstream correlation scoring reports
+    /// `n/a`.
     pub fn from_runs(label: impl Into<String>, runs: &[StreamingMetrics]) -> CasePoint {
-        assert!(!runs.is_empty(), "need at least one run");
         let label = label.into();
+        if runs.is_empty() {
+            eprintln!("warning: case {label}: no surviving runs; reporting NaN metrics");
+            return CasePoint {
+                label,
+                iops: f64::NAN,
+                bw: f64::NAN,
+                arpt: f64::NAN,
+                bps: f64::NAN,
+                exec_s: f64::NAN,
+            };
+        }
         fn mean(label: &str, name: &str, values: Vec<Option<f64>>) -> f64 {
             let total = values.len();
             let defined: Vec<f64> = values.into_iter().flatten().collect();

@@ -14,8 +14,54 @@
 
 use crate::runner::{run_case_streaming, CasePoint, CaseSpec};
 use bps_core::sink::StreamingMetrics;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One `(case, seed)` unit that panicked instead of producing metrics.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    /// Label of the case whose unit panicked.
+    pub case: String,
+    /// The seed the unit was running.
+    pub seed: u64,
+    /// The panic payload, stringified.
+    pub panic: String,
+}
+
+impl std::fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "case {} seed {} panicked: {}",
+            self.case, self.seed, self.panic
+        )
+    }
+}
+
+/// Outcome of a panic-isolating sweep: one point per case (averaged over
+/// the seeds that completed) plus every unit that panicked. A case whose
+/// seeds all panicked still gets a point — with NaN metrics — so the
+/// output stays positionally aligned with the input cases.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// One point per input case, in input order.
+    pub points: Vec<CasePoint>,
+    /// Every unit that panicked, in `(case, seed)` order.
+    pub failures: Vec<SweepFailure>,
+}
+
+/// Stringify a panic payload (`panic!` with a literal gives `&str`, with a
+/// format string gives `String`; anything else is opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A work-stealing executor for embarrassingly parallel sweep units.
 #[derive(Debug, Clone, Copy)]
@@ -93,19 +139,51 @@ impl SweepExec {
 
     /// Run every `(case, seed)` unit through the streaming pipeline in
     /// parallel and average each case over its seeds. Points come back in
-    /// the input case order.
+    /// the input case order. A unit that panics is isolated and printed to
+    /// stderr rather than aborting the sweep; use [`Self::run_reporting`]
+    /// to inspect failures programmatically.
     pub fn run(&self, cases: &[(String, CaseSpec<'_>)], seeds: &[u64]) -> Vec<CasePoint> {
+        let report = self.run_reporting(cases, seeds);
+        for failure in &report.failures {
+            eprintln!("warning: sweep unit failed: {failure}");
+        }
+        report.points
+    }
+
+    /// [`Self::run`], but each `(case, seed)` unit runs under
+    /// `catch_unwind`: one poisoned case (a panicking workload, a config
+    /// that trips an internal invariant) yields NaN metrics and a recorded
+    /// [`SweepFailure`] instead of tearing down the entire sweep — in both
+    /// the inline and the threaded execution paths. Units that complete
+    /// average exactly as in a failure-free run.
+    pub fn run_reporting(&self, cases: &[(String, CaseSpec<'_>)], seeds: &[u64]) -> SweepReport {
         assert!(!seeds.is_empty(), "need at least one seed");
         let units = cases.len() * seeds.len();
-        let runs: Vec<StreamingMetrics> = self.run_indexed(units, |i| {
+        let runs: Vec<Result<StreamingMetrics, String>> = self.run_indexed(units, |i| {
             let (ci, si) = (i / seeds.len(), i % seeds.len());
-            run_case_streaming(&cases[ci].1, seeds[si])
+            catch_unwind(AssertUnwindSafe(|| {
+                run_case_streaming(&cases[ci].1, seeds[si])
+            }))
+            .map_err(panic_message)
         });
-        cases
-            .iter()
-            .zip(runs.chunks_exact(seeds.len()))
-            .map(|((label, _), per_case)| CasePoint::from_runs(label.clone(), per_case))
-            .collect()
+        let mut points = Vec::with_capacity(cases.len());
+        let mut failures = Vec::new();
+        let mut runs = runs.into_iter();
+        for (label, _) in cases {
+            let mut survived = Vec::with_capacity(seeds.len());
+            for &seed in seeds {
+                match runs.next().expect("one run per (case, seed) unit") {
+                    Ok(metrics) => survived.push(metrics),
+                    Err(panic) => failures.push(SweepFailure {
+                        case: label.clone(),
+                        seed,
+                        panic,
+                    }),
+                }
+            }
+            points.push(CasePoint::from_runs(label.clone(), &survived));
+        }
+        SweepReport { points, failures }
     }
 
     /// Run one case across its seeds in parallel; the [`CasePoint`] is
@@ -165,6 +243,57 @@ mod tests {
             assert_eq!(a.arpt.to_bits(), b.arpt.to_bits());
             assert_eq!(a.bps.to_bits(), b.bps.to_bits());
             assert_eq!(a.exec_s.to_bits(), b.exec_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn panicking_case_is_isolated_and_reported() {
+        use bps_workloads::spec::{OpStream, Workload};
+
+        /// A workload whose op stream panics the moment it is built.
+        struct Poisoned;
+        impl Workload for Poisoned {
+            fn name(&self) -> &'static str {
+                "poisoned"
+            }
+            fn processes(&self) -> usize {
+                1
+            }
+            fn file_sizes(&self) -> Vec<u64> {
+                vec![1 << 20]
+            }
+            fn stream(&self, _pid: usize) -> OpStream {
+                panic!("injected test panic");
+            }
+        }
+
+        let healthy = Iozone::seq_read(1 << 20, 256 << 10);
+        let poisoned = Poisoned;
+        let cases = vec![
+            ("ok".to_string(), CaseSpec::new(Storage::Hdd, &healthy)),
+            ("bad".to_string(), CaseSpec::new(Storage::Hdd, &poisoned)),
+        ];
+        let seeds = [1, 2];
+        // Quiet the default panic hook for the injected panics.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = SweepExec::new(2).run_reporting(&cases, &seeds);
+        std::panic::set_hook(prev);
+
+        // Both cases produce a point, in input order.
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.points[0].label, "ok");
+        assert_eq!(report.points[1].label, "bad");
+        // The healthy case is unaffected; the poisoned one reports NaN.
+        assert!(report.points[0].bps.is_finite());
+        assert!(report.points[1].bps.is_nan());
+        assert!(report.points[1].exec_s.is_nan());
+        // Every poisoned unit is reported with its seed and payload.
+        assert_eq!(report.failures.len(), seeds.len());
+        for (f, &seed) in report.failures.iter().zip(&seeds) {
+            assert_eq!(f.case, "bad");
+            assert_eq!(f.seed, seed);
+            assert!(f.panic.contains("injected test panic"), "{}", f.panic);
         }
     }
 

@@ -7,6 +7,7 @@
 //! each server CPU, and each device is a contended FIFO resource.
 
 use crate::layout::Chunk;
+use bps_core::error::IoError;
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
 use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
@@ -16,6 +17,7 @@ use bps_sim::device::raid0::Raid0;
 use bps_sim::device::ram::Ram;
 use bps_sim::device::ssd::{Ssd, SsdProfile};
 use bps_sim::device::{Device, DeviceReq, DiskSched};
+use bps_sim::fault::{FaultInjector, FaultPlan};
 use bps_sim::net::{Link, Switch};
 use bps_sim::rng::{Jitter, SimRng};
 
@@ -88,6 +90,11 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Also record `Layer::Device` records (adds one record per chunk).
     pub record_device_layer: bool,
+    /// Fault injection plan. [`FaultPlan::none()`] (the default) is
+    /// bit-for-bit neutral: the injector's randomness is derived from
+    /// `(fault.seed, seed)` independently of the device streams, and every
+    /// check short-circuits when its rate is zero.
+    pub fault: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -102,6 +109,7 @@ impl ClusterConfig {
             jitter: Jitter::DEFAULT,
             seed,
             record_device_layer: false,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -136,6 +144,7 @@ pub struct Cluster<S: RecordSink = Trace> {
     switch: Switch,
     server_cpu: Dur,
     record_device_layer: bool,
+    fault: FaultInjector,
     /// The global record observer (paper §III.B Step 2). All layers feed
     /// it as each access completes; experiments read it back at the end of
     /// a run.
@@ -179,6 +188,7 @@ impl<S: RecordSink> Cluster<S> {
             switch: Switch::gigabit_cluster(),
             server_cpu: cfg.server_cpu,
             record_device_layer: cfg.record_device_layer,
+            fault: FaultInjector::new(&cfg.fault, cfg.seed),
             sink,
         }
     }
@@ -195,7 +205,9 @@ impl<S: RecordSink> Cluster<S> {
 
     /// Direct (no-network) device I/O on server `s` — the local-file-system
     /// path. Returns the completion instant; records a `Layer::Device`
-    /// record when enabled.
+    /// record when enabled. Under fault injection, an outage fails fast
+    /// (no network on this path) and a transient device error surfaces at
+    /// the grant's end — the device did the work, the data is bad.
     #[allow(clippy::too_many_arguments)]
     pub fn local_io(
         &mut self,
@@ -206,11 +218,20 @@ impl<S: RecordSink> Cluster<S> {
         bytes: u64,
         op: IoOp,
         issue: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
+        if let Some(until) = self.fault.outage_until(server, issue) {
+            return Err(IoError::ServerOffline {
+                server,
+                at: issue,
+                until,
+            });
+        }
         let blocks = bps_core::block::blocks_for_bytes(bytes);
-        let grant = self.servers[server]
-            .device
-            .submit(issue, DeviceReq { lba, blocks, op });
+        let slow = self.fault.slowdown(server, issue);
+        let grant =
+            self.servers[server]
+                .device
+                .submit_scaled(issue, DeviceReq { lba, blocks, op }, slow);
         if self.record_device_layer {
             self.sink.on_record(&IoRecord::new(
                 pid,
@@ -223,7 +244,13 @@ impl<S: RecordSink> Cluster<S> {
                 Layer::Device,
             ));
         }
-        grant.end
+        if self.fault.device_error(server) {
+            return Err(IoError::DeviceFault {
+                server,
+                at: grant.end,
+            });
+        }
+        Ok(grant.end)
     }
 
     /// One chunk of remote I/O from client `c` to server `chunk.server`,
@@ -231,6 +258,15 @@ impl<S: RecordSink> Cluster<S> {
     /// server NIC → server CPU → device → (data back for reads / ack back
     /// for writes). Records a `Layer::FileSystem` record for the data moved
     /// and returns the completion instant at the client.
+    ///
+    /// Fault handling: an offline server is detected only after the request
+    /// hop and an error reply come back (the error carries the detection
+    /// instant and the recovery time); a straggler window scales both the
+    /// server CPU and the device service; a transient device error pays the
+    /// full device grant plus an error-reply round trip; a lossy link adds
+    /// one retransmit delay to the payload leg. Errors return `Err` without
+    /// recording a `Layer::FileSystem` record — no data moved for the
+    /// caller; retries are recorded by the middleware as `Layer::Retry`.
     #[allow(clippy::too_many_arguments)]
     pub fn remote_chunk_io(
         &mut self,
@@ -241,22 +277,56 @@ impl<S: RecordSink> Cluster<S> {
         lba: u64,
         op: IoOp,
         issue: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         let bytes = chunk.len;
         let blocks = bps_core::block::blocks_for_bytes(bytes);
+        let server = chunk.server;
+        // One loss draw per call, applied to the payload leg below. Drawn
+        // up front so the RNG stream does not depend on which branch runs.
+        let lost = self.fault.link_lost();
         // Request (plus payload, for writes) travels client → server.
+        let mut outbound_issue = issue;
         let outbound = match op {
             IoOp::Read => REQUEST_MSG,
-            IoOp::Write => REQUEST_MSG + bytes,
+            IoOp::Write => {
+                // Writes carry the payload outbound; a lost packet delays
+                // the transfer before it reaches the server.
+                if lost {
+                    outbound_issue += self.fault.retransmit_delay();
+                }
+                REQUEST_MSG + bytes
+            }
         };
-        let t = self.clients[client].nic_out.transfer(issue, outbound);
+        let t = self.clients[client]
+            .nic_out
+            .transfer(outbound_issue, outbound);
         let t = self.switch.forward(t, outbound);
-        let t = self.servers[chunk.server].nic_in.transfer(t, outbound);
-        // Server CPU, then the disk.
-        let dev_arrival = t + self.server_cpu;
-        let grant = self.servers[chunk.server]
-            .device
-            .submit(dev_arrival, DeviceReq { lba, blocks, op });
+        let t = self.servers[server].nic_in.transfer(t, outbound);
+        // An offline server refuses the request; the client learns of it
+        // from a short error reply, paying the network both ways.
+        if let Some(until) = self.fault.outage_until(server, t) {
+            let e = self.servers[server].nic_out.transfer(t, ACK_MSG);
+            let e = self.switch.forward(e, ACK_MSG);
+            let detected = self.clients[client].nic_in.transfer(e, ACK_MSG);
+            return Err(IoError::ServerOffline {
+                server,
+                at: detected,
+                until,
+            });
+        }
+        // Server CPU (scaled by any open straggler window), then the disk.
+        let slow = self.fault.slowdown(server, t);
+        let cpu = if slow == 1.0 {
+            self.server_cpu
+        } else {
+            Dur::from_secs_f64(self.server_cpu.as_secs_f64() * slow)
+        };
+        let dev_arrival = t + cpu;
+        let grant = self.servers[server].device.submit_scaled(
+            dev_arrival,
+            DeviceReq { lba, blocks, op },
+            slow,
+        );
         if self.record_device_layer {
             self.sink.on_record(&IoRecord::new(
                 pid,
@@ -269,14 +339,31 @@ impl<S: RecordSink> Cluster<S> {
                 Layer::Device,
             ));
         }
+        // A transient device error: the device did the work, but the client
+        // gets an error reply instead of data.
+        if self.fault.device_error(server) {
+            let e = self.servers[server].nic_out.transfer(grant.end, ACK_MSG);
+            let e = self.switch.forward(e, ACK_MSG);
+            let detected = self.clients[client].nic_in.transfer(e, ACK_MSG);
+            return Err(IoError::DeviceFault {
+                server,
+                at: detected,
+            });
+        }
         // Reply (payload for reads, ack for writes) travels server → client.
+        let mut reply_at = grant.end;
         let inbound = match op {
-            IoOp::Read => bytes,
+            IoOp::Read => {
+                // Reads carry the payload inbound; a lost packet delays the
+                // reply leg.
+                if lost {
+                    reply_at += self.fault.retransmit_delay();
+                }
+                bytes
+            }
             IoOp::Write => ACK_MSG,
         };
-        let t = self.servers[chunk.server]
-            .nic_out
-            .transfer(grant.end, inbound);
+        let t = self.servers[server].nic_out.transfer(reply_at, inbound);
         let t = self.switch.forward(t, inbound);
         let done = self.clients[client].nic_in.transfer(t, inbound);
         self.sink.on_record(&IoRecord::new(
@@ -289,7 +376,33 @@ impl<S: RecordSink> Cluster<S> {
             done,
             Layer::FileSystem,
         ));
-        done
+        Ok(done)
+    }
+
+    /// Record a failed or abandoned attempt of a retried request
+    /// (`Layer::Retry`): the span from issue to the instant the failure was
+    /// detected. Retry records never count toward the four paper metrics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_retry(
+        &mut self,
+        pid: ProcessId,
+        file: FileId,
+        offset: u64,
+        bytes: u64,
+        op: IoOp,
+        start: Nanos,
+        end: Nanos,
+    ) {
+        self.sink.on_record(&IoRecord::new(
+            pid,
+            op,
+            file,
+            offset,
+            bytes,
+            start,
+            end.max(start),
+            Layer::Retry,
+        ));
     }
 
     /// A client-to-client data shipment (the exchange phase of two-phase
@@ -363,6 +476,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 1,
             record_device_layer: true,
+            fault: FaultPlan::none(),
         })
     }
 
@@ -379,15 +493,17 @@ mod tests {
     #[test]
     fn remote_read_pays_network_and_device() {
         let mut c = ram_cluster(1, 1);
-        let done = c.remote_chunk_io(
-            ProcessId(0),
-            FileId(0),
-            0,
-            &chunk(0, 64 << 10),
-            0,
-            IoOp::Read,
-            Nanos::ZERO,
-        );
+        let done = c
+            .remote_chunk_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                &chunk(0, 64 << 10),
+                0,
+                IoOp::Read,
+                Nanos::ZERO,
+            )
+            .unwrap();
         let secs = done.since(Nanos::ZERO).as_secs_f64();
         // 64 KB device transfer (~655 us) + device fixed (100 us) + server
         // CPU (25 us) + request hop (~250 us of latency) + 64 KB data reply
@@ -403,25 +519,29 @@ mod tests {
     #[test]
     fn writes_ship_payload_outbound() {
         let mut c = ram_cluster(1, 1);
-        let r = c.remote_chunk_io(
-            ProcessId(0),
-            FileId(0),
-            0,
-            &chunk(0, 1 << 20),
-            0,
-            IoOp::Read,
-            Nanos::ZERO,
-        );
+        let r = c
+            .remote_chunk_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                &chunk(0, 1 << 20),
+                0,
+                IoOp::Read,
+                Nanos::ZERO,
+            )
+            .unwrap();
         let mut c2 = ram_cluster(1, 1);
-        let w = c2.remote_chunk_io(
-            ProcessId(0),
-            FileId(0),
-            0,
-            &chunk(0, 1 << 20),
-            0,
-            IoOp::Write,
-            Nanos::ZERO,
-        );
+        let w = c2
+            .remote_chunk_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                &chunk(0, 1 << 20),
+                0,
+                IoOp::Write,
+                Nanos::ZERO,
+            )
+            .unwrap();
         // Same total payload crosses the wire once in each direction, so
         // read and write completions are within ~25% of each other.
         let ratio = w.since(Nanos::ZERO).as_secs_f64() / r.since(Nanos::ZERO).as_secs_f64();
@@ -434,34 +554,40 @@ mod tests {
         // same bytes on one server.
         let total = 4 << 20;
         let mut one = ram_cluster(1, 1);
-        let a = one.remote_chunk_io(
-            ProcessId(0),
-            FileId(0),
-            0,
-            &chunk(0, total),
-            0,
-            IoOp::Read,
-            Nanos::ZERO,
-        );
+        let a = one
+            .remote_chunk_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                &chunk(0, total),
+                0,
+                IoOp::Read,
+                Nanos::ZERO,
+            )
+            .unwrap();
         let mut two = ram_cluster(2, 1);
-        let b1 = two.remote_chunk_io(
-            ProcessId(0),
-            FileId(0),
-            0,
-            &chunk(0, total / 2),
-            0,
-            IoOp::Read,
-            Nanos::ZERO,
-        );
-        let b2 = two.remote_chunk_io(
-            ProcessId(0),
-            FileId(0),
-            0,
-            &chunk(1, total / 2),
-            0,
-            IoOp::Read,
-            Nanos::ZERO,
-        );
+        let b1 = two
+            .remote_chunk_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                &chunk(0, total / 2),
+                0,
+                IoOp::Read,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        let b2 = two
+            .remote_chunk_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                &chunk(1, total / 2),
+                0,
+                IoOp::Read,
+                Nanos::ZERO,
+            )
+            .unwrap();
         let b = b1.max(b2);
         // Devices run in parallel; the shared client NIC still serializes
         // the replies, so the speedup is real but < 2x.
@@ -471,15 +597,17 @@ mod tests {
     #[test]
     fn local_io_skips_network() {
         let mut c = ram_cluster(1, 1);
-        let done = c.local_io(
-            ProcessId(0),
-            FileId(0),
-            0,
-            0,
-            64 << 10,
-            IoOp::Read,
-            Nanos::ZERO,
-        );
+        let done = c
+            .local_io(
+                ProcessId(0),
+                FileId(0),
+                0,
+                0,
+                64 << 10,
+                IoOp::Read,
+                Nanos::ZERO,
+            )
+            .unwrap();
         // Just the device: 100 us fixed + ~655 us transfer.
         let secs = done.since(Nanos::ZERO).as_secs_f64();
         assert!((0.0006..0.0009).contains(&secs), "{secs}");
@@ -488,7 +616,8 @@ mod tests {
     #[test]
     fn take_trace_drains() {
         let mut c = ram_cluster(1, 1);
-        c.local_io(ProcessId(0), FileId(0), 0, 0, 512, IoOp::Read, Nanos::ZERO);
+        c.local_io(ProcessId(0), FileId(0), 0, 0, 512, IoOp::Read, Nanos::ZERO)
+            .unwrap();
         c.record_fs_access(
             ProcessId(0),
             FileId(0),
@@ -519,28 +648,33 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 1,
             record_device_layer: true,
+            fault: FaultPlan::none(),
         };
         let mut traced = Cluster::new(&cfg);
         let mut streamed = Cluster::with_sink(&cfg, StreamingMetrics::new());
         for c in 0..2u64 {
-            traced.remote_chunk_io(
-                ProcessId(0),
-                FileId(0),
-                0,
-                &chunk(0, 64 << 10),
-                c * 128,
-                IoOp::Read,
-                Nanos::from_micros(c * 5),
-            );
-            streamed.remote_chunk_io(
-                ProcessId(0),
-                FileId(0),
-                0,
-                &chunk(0, 64 << 10),
-                c * 128,
-                IoOp::Read,
-                Nanos::from_micros(c * 5),
-            );
+            traced
+                .remote_chunk_io(
+                    ProcessId(0),
+                    FileId(0),
+                    0,
+                    &chunk(0, 64 << 10),
+                    c * 128,
+                    IoOp::Read,
+                    Nanos::from_micros(c * 5),
+                )
+                .unwrap();
+            streamed
+                .remote_chunk_io(
+                    ProcessId(0),
+                    FileId(0),
+                    0,
+                    &chunk(0, 64 << 10),
+                    c * 128,
+                    IoOp::Read,
+                    Nanos::from_micros(c * 5),
+                )
+                .unwrap();
         }
         use bps_core::record::Layer;
         assert_eq!(

@@ -12,6 +12,7 @@ use crate::content::SparseStore;
 use crate::file::FileMeta;
 use crate::layout::StripeLayout;
 use bps_core::block::BLOCK_SIZE;
+use bps_core::error::IoError;
 use bps_core::record::{FileId, IoOp, ProcessId};
 use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
@@ -78,7 +79,9 @@ impl LocalFs {
     /// Perform a read or write of `[offset, offset+len)`, issued at `now`.
     /// Returns the completion instant. Records the file-system-layer data
     /// movement into the cluster trace; the caller records the
-    /// application-layer view.
+    /// application-layer view. A fault-injected device error or outage
+    /// surfaces as `Err`; no file-system record is emitted for the failed
+    /// attempt (the middleware records retries).
     #[allow(clippy::too_many_arguments)]
     pub fn io<S: RecordSink>(
         &mut self,
@@ -89,19 +92,20 @@ impl LocalFs {
         len: u64,
         op: IoOp,
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         let meta = &self.files[file.0 as usize];
-        assert!(
-            offset + len <= meta.size,
-            "access [{offset}, {}) beyond EOF {} of {file:?}",
-            offset + len,
-            meta.size
-        );
+        if offset + len > meta.size {
+            return Err(IoError::BeyondEof {
+                offset,
+                len,
+                size: meta.size,
+            });
+        }
         let lba = meta.base_lba[0] + offset / BLOCK_SIZE;
         let t0 = now + self.per_op_overhead;
-        let done = cluster.local_io(pid, file, self.server, lba, len, op, t0);
+        let done = cluster.local_io(pid, file, self.server, lba, len, op, t0)?;
         cluster.record_fs_access(pid, file, offset, len, op, now, done);
-        done
+        Ok(done)
     }
 
     /// Convenience read.
@@ -114,7 +118,7 @@ impl LocalFs {
         offset: u64,
         len: u64,
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         self.io(cluster, pid, file, offset, len, IoOp::Read, now)
     }
 
@@ -128,7 +132,7 @@ impl LocalFs {
         offset: u64,
         len: u64,
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         self.io(cluster, pid, file, offset, len, IoOp::Write, now)
     }
 
@@ -173,11 +177,15 @@ mod tests {
         let f = fs.create(1 << 20);
         // First read pays the initial seek to the file's extent; measure
         // the steady state after it.
-        let warm = fs.read(&mut cluster, ProcessId(0), f, 0, 4096, Nanos::ZERO);
+        let warm = fs
+            .read(&mut cluster, ProcessId(0), f, 0, 4096, Nanos::ZERO)
+            .unwrap();
         let mut now = warm;
         let n = 64;
         for i in 1..=n {
-            now = fs.read(&mut cluster, ProcessId(0), f, i * 4096, 4096, now);
+            now = fs
+                .read(&mut cluster, ProcessId(0), f, i * 4096, 4096, now)
+                .unwrap();
         }
         let per_op = now.since(warm).as_secs_f64() / n as f64;
         let iops = 1.0 / per_op;
@@ -192,13 +200,17 @@ mod tests {
         // 4 MB in 4 KB records vs one 4 MB record.
         let mut now = Nanos::ZERO;
         for i in 0..1024u64 {
-            now = fs.read(&mut cluster, ProcessId(0), f, i * 4096, 4096, now);
+            now = fs
+                .read(&mut cluster, ProcessId(0), f, i * 4096, 4096, now)
+                .unwrap();
         }
         let small_total = now.since(Nanos::ZERO);
         let mut cluster2 = hdd_cluster();
         let mut fs2 = LocalFs::new(0);
         let f2 = fs2.create(64 << 20);
-        let big_done = fs2.read(&mut cluster2, ProcessId(0), f2, 0, 4 << 20, Nanos::ZERO);
+        let big_done = fs2
+            .read(&mut cluster2, ProcessId(0), f2, 0, 4 << 20, Nanos::ZERO)
+            .unwrap();
         let big_total = big_done.since(Nanos::ZERO);
         assert!(
             small_total.as_secs_f64() > 3.0 * big_total.as_secs_f64(),
@@ -211,7 +223,8 @@ mod tests {
         let mut cluster = hdd_cluster();
         let mut fs = LocalFs::new(0);
         let f = fs.create(1 << 20);
-        fs.read(&mut cluster, ProcessId(0), f, 0, 8192, Nanos::ZERO);
+        fs.read(&mut cluster, ProcessId(0), f, 0, 8192, Nanos::ZERO)
+            .unwrap();
         let trace = cluster.take_trace();
         assert_eq!(trace.op_count(Layer::FileSystem), 1);
         assert_eq!(trace.bytes(Layer::FileSystem), 8192);
@@ -228,12 +241,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "beyond EOF")]
-    fn read_past_eof_panics() {
+    fn read_past_eof_is_a_typed_error() {
         let mut cluster = hdd_cluster();
         let mut fs = LocalFs::new(0);
         let f = fs.create(4096);
-        fs.read(&mut cluster, ProcessId(0), f, 0, 8192, Nanos::ZERO);
+        let err = fs
+            .read(&mut cluster, ProcessId(0), f, 0, 8192, Nanos::ZERO)
+            .unwrap_err();
+        assert!(
+            matches!(err, IoError::BeyondEof { size: 4096, .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -256,6 +274,7 @@ mod tests {
                 jitter: Jitter::NONE,
                 seed: 7,
                 record_device_layer: false,
+                fault: bps_sim::fault::FaultPlan::none(),
             };
             Cluster::new(&cfg)
         };
@@ -266,7 +285,7 @@ mod tests {
             for i in 0..256u64 {
                 // Random-ish strided access pattern (stride breaks streaming).
                 let off = (i * 37 % 1024) * 4096;
-                now = fs.read(cluster, ProcessId(0), f, off, 4096, now);
+                now = fs.read(cluster, ProcessId(0), f, off, 4096, now).unwrap();
             }
             now
         };

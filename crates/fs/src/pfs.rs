@@ -10,7 +10,8 @@
 use crate::cluster::Cluster;
 use crate::content::SparseStore;
 use crate::file::FileMeta;
-use crate::layout::StripeLayout;
+use crate::layout::{Chunk, StripeLayout};
+use bps_core::error::IoError;
 use bps_core::record::{FileId, IoOp, ProcessId};
 use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
@@ -77,9 +78,21 @@ impl ParallelFs {
         &self.files[file.0 as usize]
     }
 
+    /// Degraded-read inflation: reconstructing a chunk from the surviving
+    /// servers moves this multiple of the chunk's bytes (replica + verify
+    /// pass, mirroring RAID-style degraded reads).
+    pub const DEGRADED_READ_INFLATION: u64 = 2;
+
     /// Perform a striped read or write, issued at `now` from `client`.
     /// Chunks are dispatched together after the client-side overhead; the
     /// call completes when the last chunk completes.
+    ///
+    /// Failover: when a *read* chunk fails with a transient error (offline
+    /// or faulty server) and the cluster has another server, the client
+    /// reissues the chunk as a degraded-stripe read against the next
+    /// server, moving [`Self::DEGRADED_READ_INFLATION`]× the bytes
+    /// (reconstruction overhead). The abandoned attempt is recorded as
+    /// `Layer::Retry`. Writes and exhausted failovers propagate the error.
     #[allow(clippy::too_many_arguments)]
     pub fn io<S: RecordSink>(
         &mut self,
@@ -91,22 +104,55 @@ impl ParallelFs {
         len: u64,
         op: IoOp,
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         let meta = &self.files[file.0 as usize];
-        assert!(
-            offset + len <= meta.size,
-            "access [{offset}, {}) beyond EOF {} of {file:?}",
-            offset + len,
-            meta.size
-        );
+        if offset + len > meta.size {
+            return Err(IoError::BeyondEof {
+                offset,
+                len,
+                size: meta.size,
+            });
+        }
         let t0 = now + self.client_overhead;
         let mut done = t0;
         for chunk in meta.layout.map(offset, len) {
             let lba = meta.lba_of(chunk.slot, chunk.server_offset);
-            let chunk_done = cluster.remote_chunk_io(pid, file, client, &chunk, lba, op, t0);
+            let chunk_done = match cluster.remote_chunk_io(pid, file, client, &chunk, lba, op, t0) {
+                Ok(t) => t,
+                Err(e) => Self::failover_chunk(cluster, pid, file, client, &chunk, lba, op, t0, e)?,
+            };
             done = done.max(chunk_done);
         }
-        done
+        Ok(done)
+    }
+
+    /// Reissue one failed read chunk against the next server as a degraded
+    /// read; writes and non-transient errors propagate.
+    #[allow(clippy::too_many_arguments)]
+    fn failover_chunk<S: RecordSink>(
+        cluster: &mut Cluster<S>,
+        pid: ProcessId,
+        file: FileId,
+        client: usize,
+        chunk: &Chunk,
+        lba: u64,
+        op: IoOp,
+        t0: Nanos,
+        err: IoError,
+    ) -> Result<Nanos, IoError> {
+        let servers = cluster.server_count();
+        if op != IoOp::Read || servers < 2 || !err.is_transient() {
+            return Err(err);
+        }
+        // The abandoned attempt: issue to failure detection.
+        let detected = err.fail_time().unwrap_or(t0);
+        cluster.record_retry(pid, file, chunk.file_offset, chunk.len, op, t0, detected);
+        let degraded = Chunk {
+            server: (chunk.server + 1) % servers,
+            len: chunk.len * Self::DEGRADED_READ_INFLATION,
+            ..*chunk
+        };
+        cluster.remote_chunk_io(pid, file, client, &degraded, lba, op, detected)
     }
 
     /// Convenience read.
@@ -120,7 +166,7 @@ impl ParallelFs {
         offset: u64,
         len: u64,
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         self.io(cluster, pid, client, file, offset, len, IoOp::Read, now)
     }
 
@@ -135,7 +181,7 @@ impl ParallelFs {
         offset: u64,
         len: u64,
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         self.io(cluster, pid, client, file, offset, len, IoOp::Write, now)
     }
 
@@ -178,6 +224,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 3,
             record_device_layer: false,
+            fault: bps_sim::fault::FaultPlan::none(),
         })
     }
 
@@ -186,7 +233,8 @@ mod tests {
         let mut cluster = ram_cluster(4, 1);
         let mut pfs = ParallelFs::new(4);
         let f = pfs.create(16 << 20, StripeLayout::default_over(4));
-        pfs.read(&mut cluster, ProcessId(0), 0, f, 0, 1 << 20, Nanos::ZERO);
+        pfs.read(&mut cluster, ProcessId(0), 0, f, 0, 1 << 20, Nanos::ZERO)
+            .unwrap();
         // 1 MiB over 64 KB stripes on 4 servers: 16 chunks, 4 per server.
         let trace = cluster.take_trace();
         assert_eq!(trace.op_count(Layer::FileSystem), 16);
@@ -204,7 +252,9 @@ mod tests {
             let mut cluster = ram_cluster(n, 1);
             let mut pfs = ParallelFs::new(n);
             let f = pfs.create(64 << 20, StripeLayout::default_over(n));
-            let done = pfs.read(&mut cluster, ProcessId(0), 0, f, 0, 16 << 20, Nanos::ZERO);
+            let done = pfs
+                .read(&mut cluster, ProcessId(0), 0, f, 0, 16 << 20, Nanos::ZERO)
+                .unwrap();
             done.since(Nanos::ZERO).as_secs_f64()
         };
         let t1 = run(1);
@@ -219,7 +269,8 @@ mod tests {
         let mut cluster = ram_cluster(4, 2);
         let mut pfs = ParallelFs::new(4);
         let f0 = pfs.create(1 << 20, StripeLayout::pinned(2));
-        pfs.read(&mut cluster, ProcessId(0), 0, f0, 0, 1 << 20, Nanos::ZERO);
+        pfs.read(&mut cluster, ProcessId(0), 0, f0, 0, 1 << 20, Nanos::ZERO)
+            .unwrap();
         assert_eq!(cluster.device_stats(2).ops, 1);
         for s in [0usize, 1, 3] {
             assert_eq!(cluster.device_stats(s).ops, 0, "server {s}");
@@ -249,12 +300,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "beyond EOF")]
-    fn read_past_eof_panics() {
+    fn read_past_eof_is_a_typed_error() {
         let mut cluster = ram_cluster(1, 1);
         let mut pfs = ParallelFs::new(1);
         let f = pfs.create(4096, StripeLayout::default_over(1));
-        pfs.read(&mut cluster, ProcessId(0), 0, f, 4096, 1, Nanos::ZERO);
+        let err = pfs
+            .read(&mut cluster, ProcessId(0), 0, f, 4096, 1, Nanos::ZERO)
+            .unwrap_err();
+        assert!(
+            matches!(err, IoError::BeyondEof { size: 4096, .. }),
+            "{err}"
+        );
+        assert!(!err.is_transient());
+        // Nothing was issued to any device.
+        assert_eq!(cluster.device_stats(0).ops, 0);
     }
 
     #[test]
@@ -264,16 +323,20 @@ mod tests {
         let mut cluster = ram_cluster(1, 2);
         let mut pfs = ParallelFs::new(1);
         let f = pfs.create(8 << 20, StripeLayout::pinned(0));
-        let a = pfs.read(&mut cluster, ProcessId(0), 0, f, 0, 4 << 20, Nanos::ZERO);
-        let b = pfs.read(
-            &mut cluster,
-            ProcessId(1),
-            1,
-            f,
-            4 << 20,
-            4 << 20,
-            Nanos::ZERO,
-        );
+        let a = pfs
+            .read(&mut cluster, ProcessId(0), 0, f, 0, 4 << 20, Nanos::ZERO)
+            .unwrap();
+        let b = pfs
+            .read(
+                &mut cluster,
+                ProcessId(1),
+                1,
+                f,
+                4 << 20,
+                4 << 20,
+                Nanos::ZERO,
+            )
+            .unwrap();
         // Second request's device service queues behind the first.
         let serial_each = 4.0 * 1024.0 * 1024.0 / 100e6;
         assert!(b.since(Nanos::ZERO).as_secs_f64() > 2.0 * serial_each * 0.9);

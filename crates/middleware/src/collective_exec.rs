@@ -85,7 +85,14 @@ impl<S: RecordSink> IoStack<S> {
             let who = &arrivals[agg.aggregator];
             let mut t = barrier;
             for read in &agg.reads {
-                t = self.fs_read_raw(who.pid, who.client, file, *read, t);
+                // An aggregator read that exhausts its retries is abandoned
+                // (retry records already emitted); the collective proceeds
+                // with the failure-detection instant as that read's end so
+                // every parked participant is still released.
+                t = match self.fs_read_raw(who.pid, who.client, file, *read, t) {
+                    Ok(done) => done,
+                    Err(e) => e.fail_time().unwrap_or(t),
+                };
             }
             agg_done[agg.aggregator] = t;
             completions[agg.aggregator] = completions[agg.aggregator].max(t);
@@ -144,6 +151,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 1,
             record_device_layer: false,
+            fault: bps_sim::fault::FaultPlan::none(),
         });
         let mut pfs = ParallelFs::new(2);
         let file = pfs.create(16 << 20, StripeLayout::default_over(2));

@@ -35,4 +35,4 @@ pub mod stack;
 
 pub use process::{run_workload, AppProcess};
 pub use sieving::{SieveMode, SievePlan, SievingConfig};
-pub use stack::{FsBackend, IoStack};
+pub use stack::{FsBackend, IoStack, RetryPolicy};

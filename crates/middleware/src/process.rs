@@ -65,13 +65,25 @@ impl AppProcess {
     }
 
     /// Advance an in-flight noncontiguous call: issue its next covering
-    /// read, or finish it and record the application-level call.
+    /// read, or finish it and record the application-level call. If a
+    /// covering read exhausts its retries, the whole call is abandoned —
+    /// its failed attempts are already in the record stream as
+    /// `Layer::Retry` — and the process moves on at the failure instant.
     fn step_noncontig<S: RecordSink>(&mut self, now: Nanos, stack: &mut IoStack<S>) -> Wake {
-        let pending = self.pending.as_mut().expect("pending call");
+        // Invariant: callers enter only while a call is in flight.
+        let pending = self.pending.as_mut().expect("no noncontig call in flight");
         match pending.fs_reads.pop_front() {
             Some(extent) => {
-                let done = stack.fs_read_raw(self.pid, self.client, pending.file, extent, now);
-                Wake::At(done)
+                let file = pending.file;
+                match stack.fs_read_raw(self.pid, self.client, file, extent, now) {
+                    Ok(done) => Wake::At(done),
+                    Err(e) => {
+                        let at = e.fail_time().unwrap_or(now);
+                        self.pending = None;
+                        stack.abandoned_ops += 1;
+                        Wake::At(at + self.cpu_per_op)
+                    }
+                }
             }
             None => {
                 let pending = self.pending.take().expect("pending call");
@@ -120,11 +132,20 @@ impl<S: RecordSink> Process<IoStack<S>> for AppProcess {
             None => Wake::Done,
             Some(AppOp::Compute { dur }) => Wake::At(now + dur),
             Some(AppOp::Read { file, extent }) => {
-                let done = stack.read(self.pid, self.client, self.files[file], extent, now);
+                // An exhausted request is abandoned: its attempts are in
+                // the record stream as `Layer::Retry`, and the process
+                // moves on at the instant the failure was detected.
+                let done = match stack.read(self.pid, self.client, self.files[file], extent, now) {
+                    Ok(t) => t,
+                    Err(e) => e.fail_time().unwrap_or(now),
+                };
                 Wake::At(done + self.cpu_per_op)
             }
             Some(AppOp::Write { file, extent }) => {
-                let done = stack.write(self.pid, self.client, self.files[file], extent, now);
+                let done = match stack.write(self.pid, self.client, self.files[file], extent, now) {
+                    Ok(t) => t,
+                    Err(e) => e.fail_time().unwrap_or(now),
+                };
                 Wake::At(done + self.cpu_per_op)
             }
             Some(AppOp::ReadNoncontig { file, regions }) => {
@@ -228,6 +249,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 11,
             record_device_layer: false,
+            fault: bps_sim::fault::FaultPlan::none(),
         })
     }
 

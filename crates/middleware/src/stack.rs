@@ -8,6 +8,7 @@
 
 use crate::prefetch::{PrefetchConfig, PrefetchDecision, PrefetchState};
 use crate::sieving::{plan_read, SievingConfig};
+use bps_core::error::IoError;
 use bps_core::extent::Extent;
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
 use bps_core::sink::RecordSink;
@@ -17,6 +18,47 @@ use bps_fs::cluster::Cluster;
 use bps_fs::localfs::LocalFs;
 use bps_fs::pfs::ParallelFs;
 use std::collections::HashMap;
+
+/// How the middleware reacts to failed or over-long requests: bounded
+/// retries with exponential backoff and an optional per-request timeout.
+///
+/// Every abandoned attempt is recorded as a [`Layer::Retry`] record (which
+/// never counts toward the paper's four metrics); the successful attempt
+/// records normally, so a degraded run shows longer application records
+/// plus retry sub-records rather than a panic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try + retries). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^(n-1)`, capped at
+    /// [`RetryPolicy::max_backoff`].
+    pub base_backoff: Dur,
+    /// Upper bound on a single backoff pause.
+    pub max_backoff: Dur,
+    /// Abandon an attempt that has not completed after this long
+    /// (`None` = wait forever).
+    pub timeout: Option<Dur>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Dur::from_millis(1),
+            max_backoff: Dur::from_millis(100),
+            timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff pause before retrying after failed attempt `attempt`
+    /// (1-based): exponential, capped.
+    pub fn backoff(&self, attempt: u32) -> Dur {
+        let factor = 1u64 << (attempt - 1).min(16);
+        Dur(self.base_backoff.0.saturating_mul(factor)).min(self.max_backoff)
+    }
+}
 
 /// The file system under the middleware.
 pub enum FsBackend {
@@ -37,7 +79,7 @@ impl FsBackend {
         extent: Extent,
         op: IoOp,
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         match self {
             FsBackend::Local(fs) => fs.io(cluster, pid, file, extent.offset, extent.len, op, now),
             FsBackend::Parallel(fs) => fs.io(
@@ -83,6 +125,11 @@ pub struct IoStack<S: RecordSink = Trace> {
     pub memcpy_rate: u64,
     /// Barrier state for collective calls (group size 0 = disabled).
     pub collective: crate::collective_exec::CollectiveState,
+    /// Timeout/retry/backoff behavior for faulted requests.
+    pub retry: RetryPolicy,
+    /// Requests abandoned after exhausting every retry (degraded-run
+    /// diagnostic; stays 0 on a healthy cluster).
+    pub abandoned_ops: u64,
     prefetch_states: HashMap<(ProcessId, FileId), PrefetchState>,
 }
 
@@ -96,6 +143,8 @@ impl<S: RecordSink> IoStack<S> {
             prefetch: None,
             memcpy_rate: 10_000_000_000,
             collective: crate::collective_exec::CollectiveState::default(),
+            retry: RetryPolicy::default(),
+            abandoned_ops: 0,
             prefetch_states: HashMap::new(),
         }
     }
@@ -127,7 +176,80 @@ impl<S: RecordSink> IoStack<S> {
         ));
     }
 
-    /// POSIX-style contiguous read. Returns the completion instant.
+    /// Issue one request through the backend under this stack's
+    /// [`RetryPolicy`]: transient failures back off exponentially and
+    /// retry (each abandoned attempt recorded as [`Layer::Retry`]);
+    /// over-long attempts are abandoned at the timeout and retried; the
+    /// final attempt's result is accepted as-is. Non-transient errors
+    /// (EOF) propagate immediately.
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        &mut self,
+        pid: ProcessId,
+        client: usize,
+        file: FileId,
+        extent: Extent,
+        op: IoOp,
+        now: Nanos,
+    ) -> Result<Nanos, IoError> {
+        let mut t = now;
+        let mut attempt = 1u32;
+        loop {
+            let last = attempt >= self.retry.max_attempts;
+            match self
+                .backend
+                .io(&mut self.cluster, pid, client, file, extent, op, t)
+            {
+                Ok(done) => {
+                    match self.retry.timeout {
+                        // An attempt that outlived the timeout was
+                        // abandoned by the client even though the cluster
+                        // finished the work — retry unless this was the
+                        // last attempt (then take the slow completion).
+                        Some(timeout) if !last && done.since(t) > timeout => {
+                            let abandoned = t + timeout;
+                            self.cluster.record_retry(
+                                pid,
+                                file,
+                                extent.offset,
+                                extent.len,
+                                op,
+                                t,
+                                abandoned,
+                            );
+                            t = abandoned + self.retry.backoff(attempt);
+                        }
+                        _ => return Ok(done),
+                    }
+                }
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) => {
+                    let detected = e.fail_time().unwrap_or(t);
+                    self.cluster.record_retry(
+                        pid,
+                        file,
+                        extent.offset,
+                        extent.len,
+                        op,
+                        t,
+                        detected,
+                    );
+                    if last {
+                        return Err(IoError::RetriesExhausted {
+                            attempts: attempt,
+                            at: detected,
+                        });
+                    }
+                    t = detected + self.retry.backoff(attempt);
+                }
+            }
+            attempt += 1;
+        }
+    }
+
+    /// POSIX-style contiguous read. Returns the completion instant, or the
+    /// typed error once every retry is exhausted (the failed attempts are
+    /// already in the record stream as [`Layer::Retry`]).
     pub fn read(
         &mut self,
         pid: ProcessId,
@@ -135,39 +257,34 @@ impl<S: RecordSink> IoStack<S> {
         file: FileId,
         extent: Extent,
         now: Nanos,
-    ) -> Nanos {
-        let done = match self.prefetch {
+    ) -> Result<Nanos, IoError> {
+        let result = match self.prefetch {
             Some(cfg) => {
                 let file_size = self.backend.file_size(file);
                 let state = self.prefetch_states.entry((pid, file)).or_default();
                 match state.on_read(extent, &cfg, file_size) {
-                    PrefetchDecision::Hit => now + self.memcpy_cost(extent.len),
-                    PrefetchDecision::Fetch(fetch) => self.backend.io(
-                        &mut self.cluster,
-                        pid,
-                        client,
-                        file,
-                        fetch,
-                        IoOp::Read,
-                        now,
-                    ),
+                    PrefetchDecision::Hit => Ok(now + self.memcpy_cost(extent.len)),
+                    PrefetchDecision::Fetch(fetch) => {
+                        self.issue(pid, client, file, fetch, IoOp::Read, now)
+                    }
                 }
             }
-            None => self.backend.io(
-                &mut self.cluster,
-                pid,
-                client,
-                file,
-                extent,
-                IoOp::Read,
-                now,
-            ),
+            None => self.issue(pid, client, file, extent, IoOp::Read, now),
         };
-        self.record_app(pid, file, extent.offset, extent.len, IoOp::Read, now, done);
-        done
+        match result {
+            Ok(done) => {
+                self.record_app(pid, file, extent.offset, extent.len, IoOp::Read, now, done);
+                Ok(done)
+            }
+            Err(e) => {
+                self.abandoned_ops += 1;
+                Err(e)
+            }
+        }
     }
 
-    /// POSIX-style contiguous write. Returns the completion instant.
+    /// POSIX-style contiguous write. Returns the completion instant, or
+    /// the typed error once every retry is exhausted.
     pub fn write(
         &mut self,
         pid: ProcessId,
@@ -175,18 +292,17 @@ impl<S: RecordSink> IoStack<S> {
         file: FileId,
         extent: Extent,
         now: Nanos,
-    ) -> Nanos {
-        let done = self.backend.io(
-            &mut self.cluster,
-            pid,
-            client,
-            file,
-            extent,
-            IoOp::Write,
-            now,
-        );
-        self.record_app(pid, file, extent.offset, extent.len, IoOp::Write, now, done);
-        done
+    ) -> Result<Nanos, IoError> {
+        match self.issue(pid, client, file, extent, IoOp::Write, now) {
+            Ok(done) => {
+                self.record_app(pid, file, extent.offset, extent.len, IoOp::Write, now, done);
+                Ok(done)
+            }
+            Err(e) => {
+                self.abandoned_ops += 1;
+                Err(e)
+            }
+        }
     }
 
     /// Plan a noncontiguous read under this stack's sieving configuration.
@@ -204,16 +320,8 @@ impl<S: RecordSink> IoStack<S> {
         file: FileId,
         extent: Extent,
         now: Nanos,
-    ) -> Nanos {
-        self.backend.io(
-            &mut self.cluster,
-            pid,
-            client,
-            file,
-            extent,
-            IoOp::Read,
-            now,
-        )
+    ) -> Result<Nanos, IoError> {
+        self.issue(pid, client, file, extent, IoOp::Read, now)
     }
 
     /// Record one application-level read call (used by multi-wake
@@ -247,19 +355,17 @@ impl<S: RecordSink> IoStack<S> {
         file: FileId,
         regions: &[Extent],
         now: Nanos,
-    ) -> Nanos {
+    ) -> Result<Nanos, IoError> {
         let plan = plan_read(regions, &self.sieving);
         let mut t = now;
         for fs_read in &plan.fs_reads {
-            t = self.backend.io(
-                &mut self.cluster,
-                pid,
-                client,
-                file,
-                *fs_read,
-                IoOp::Read,
-                t,
-            );
+            t = match self.issue(pid, client, file, *fs_read, IoOp::Read, t) {
+                Ok(done) => done,
+                Err(e) => {
+                    self.abandoned_ops += 1;
+                    return Err(e);
+                }
+            };
         }
         // Copying the requested pieces out of the sieve buffers.
         if plan.sieved {
@@ -267,7 +373,7 @@ impl<S: RecordSink> IoStack<S> {
         }
         let first_offset = regions.first().map(|r| r.offset).unwrap_or(0);
         self.record_app(pid, file, first_offset, plan.required, IoOp::Read, now, t);
-        t
+        Ok(t)
     }
 
     /// Finish a run: stamp the application execution time into the sink and
@@ -304,6 +410,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 5,
             record_device_layer: false,
+            fault: bps_sim::fault::FaultPlan::none(),
         })
     }
 
@@ -317,7 +424,9 @@ mod tests {
     #[test]
     fn read_records_app_and_fs_layers() {
         let (mut stack, f) = local_stack();
-        let done = stack.read(ProcessId(0), 0, f, Extent::new(0, 4096), Nanos::ZERO);
+        let done = stack
+            .read(ProcessId(0), 0, f, Extent::new(0, 4096), Nanos::ZERO)
+            .unwrap();
         assert!(done > Nanos::ZERO);
         let trace = stack.finish(done.since(Nanos::ZERO));
         assert_eq!(trace.op_count(Layer::Application), 1);
@@ -330,7 +439,9 @@ mod tests {
     fn sieved_read_moves_more_than_required() {
         let (mut stack, f) = local_stack();
         let regions: Vec<Extent> = (0..16).map(|i| Extent::new(i * 4096, 256)).collect();
-        let done = stack.read_noncontig(ProcessId(0), 0, f, &regions, Nanos::ZERO);
+        let done = stack
+            .read_noncontig(ProcessId(0), 0, f, &regions, Nanos::ZERO)
+            .unwrap();
         let trace = stack.finish(done.since(Nanos::ZERO));
         let required = trace.bytes(Layer::Application);
         let moved = trace.bytes(Layer::FileSystem);
@@ -348,7 +459,9 @@ mod tests {
         let (mut stack, f) = local_stack();
         stack.sieving = SievingConfig::disabled();
         let regions: Vec<Extent> = (0..16).map(|i| Extent::new(i * 4096, 256)).collect();
-        let done = stack.read_noncontig(ProcessId(0), 0, f, &regions, Nanos::ZERO);
+        let done = stack
+            .read_noncontig(ProcessId(0), 0, f, &regions, Nanos::ZERO)
+            .unwrap();
         let trace = stack.finish(done.since(Nanos::ZERO));
         assert_eq!(trace.op_count(Layer::FileSystem), 16);
         assert_eq!(trace.bytes(Layer::FileSystem), 16 * 256);
@@ -361,10 +474,14 @@ mod tests {
         let regions: Vec<Extent> = (0..64).map(|i| Extent::new(i * 512, 256)).collect();
         let (mut a, fa) = local_stack();
         a.sieving = SievingConfig::romio_default();
-        let t_sieve = a.read_noncontig(ProcessId(0), 0, fa, &regions, Nanos::ZERO);
+        let t_sieve = a
+            .read_noncontig(ProcessId(0), 0, fa, &regions, Nanos::ZERO)
+            .unwrap();
         let (mut b, fb) = local_stack();
         b.sieving = SievingConfig::disabled();
-        let t_direct = b.read_noncontig(ProcessId(0), 0, fb, &regions, Nanos::ZERO);
+        let t_direct = b
+            .read_noncontig(ProcessId(0), 0, fb, &regions, Nanos::ZERO)
+            .unwrap();
         assert!(t_sieve < t_direct, "sieve {t_sieve} direct {t_direct}");
     }
 
@@ -376,7 +493,9 @@ mod tests {
         let mut durations = Vec::new();
         for i in 0..8u64 {
             let start = now;
-            now = stack.read(ProcessId(0), 0, f, Extent::new(i * 4096, 4096), now);
+            now = stack
+                .read(ProcessId(0), 0, f, Extent::new(i * 4096, 4096), now)
+                .unwrap();
             durations.push(now.since(start));
         }
         // Reads 3.. are hits: far cheaper than the first fetch.
@@ -394,7 +513,9 @@ mod tests {
         let mut pfs = ParallelFs::new(4);
         let f = pfs.create(16 << 20, StripeLayout::default_over(4));
         let mut stack = IoStack::new(cluster, FsBackend::Parallel(pfs));
-        let done = stack.read(ProcessId(0), 0, f, Extent::new(0, 1 << 20), Nanos::ZERO);
+        let done = stack
+            .read(ProcessId(0), 0, f, Extent::new(0, 1 << 20), Nanos::ZERO)
+            .unwrap();
         let trace = stack.finish(done.since(Nanos::ZERO));
         assert_eq!(trace.op_count(Layer::Application), 1);
         assert_eq!(trace.op_count(Layer::FileSystem), 16);
@@ -404,7 +525,9 @@ mod tests {
     #[test]
     fn empty_noncontig_read_is_instant() {
         let (mut stack, f) = local_stack();
-        let done = stack.read_noncontig(ProcessId(0), 0, f, &[], Nanos::from_millis(5));
+        let done = stack
+            .read_noncontig(ProcessId(0), 0, f, &[], Nanos::from_millis(5))
+            .unwrap();
         assert_eq!(done, Nanos::from_millis(5));
         let trace = stack.finish(Dur::ZERO);
         assert_eq!(trace.bytes(Layer::Application), 0);

@@ -124,6 +124,13 @@ impl Device {
     ///
     /// Arrivals must be in nondecreasing time order (engine-guaranteed).
     pub fn submit(&mut self, arrival: Nanos, req: DeviceReq) -> Grant {
+        self.submit_scaled(arrival, req, 1.0)
+    }
+
+    /// [`Device::submit`] with a fault-injection service-time multiplier.
+    /// A factor of exactly 1.0 bypasses the scaling arithmetic entirely,
+    /// so the healthy path stays bit-for-bit identical to `submit`.
+    pub fn submit_scaled(&mut self, arrival: Nanos, req: DeviceReq, slow: f64) -> Grant {
         let queued = self.queue.stats().last_completion > arrival;
         let mut ctx = ServiceCtx {
             queued,
@@ -131,7 +138,10 @@ impl Device {
             rng: &mut self.rng,
         };
         let nominal = self.model.service_time(&req, &mut ctx);
-        let service = self.jitter.apply(nominal, &mut self.rng);
+        let mut service = self.jitter.apply(nominal, &mut self.rng);
+        if slow != 1.0 {
+            service = Dur::from_secs_f64(service.as_secs_f64() * slow);
+        }
         self.queue.acquire(arrival, service)
     }
 
@@ -178,6 +188,30 @@ mod tests {
         let b = d.submit(Nanos::ZERO, r);
         assert_eq!(b.start, a.end);
         assert_eq!(d.stats().ops, 2);
+    }
+
+    #[test]
+    fn scaled_submission_stretches_service() {
+        let mut slow = ram_device();
+        let mut fast = ram_device();
+        let r = DeviceReq {
+            lba: 0,
+            blocks: 2048,
+            op: IoOp::Read,
+        };
+        let a = fast.submit_scaled(Nanos::ZERO, r, 1.0);
+        let b = slow.submit_scaled(Nanos::ZERO, r, 3.0);
+        // Same arrival, 3x the service time.
+        assert_eq!(a.start, b.start);
+        let ratio = b.end.since(b.start).as_secs_f64() / a.end.since(a.start).as_secs_f64();
+        assert!((2.99..3.01).contains(&ratio), "{ratio}");
+        // Factor 1.0 is exactly submit().
+        let mut plain = ram_device();
+        let mut scaled = ram_device();
+        assert_eq!(
+            plain.submit(Nanos::ZERO, r),
+            scaled.submit_scaled(Nanos::ZERO, r, 1.0)
+        );
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   run; the cache exists to show (in an ablation bench) why they had to.
 //! * [`rng`] — seeded RNG with log-normal service-time jitter, so the
 //!   "5 runs, report the average" protocol of the paper is meaningful.
+//! * [`fault`] — declarative, seeded fault injection (stragglers, transient
+//!   device errors, lossy links, outages) consulted by the cluster on every
+//!   grant; `FaultPlan::none()` is bit-for-bit neutral.
 //!
 //! Determinism: all state is integer nanoseconds, the event heap tie-breaks
 //! on (time, sequence), and all randomness flows from one seed.
@@ -31,10 +34,12 @@
 pub mod cache;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod net;
 pub mod resource;
 pub mod rng;
 
 pub use engine::{run_processes, Process, RunOutcome, Wake};
+pub use fault::{FaultInjector, FaultPlan};
 pub use resource::{FifoResource, ResourceStats};
 pub use rng::SimRng;

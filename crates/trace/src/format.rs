@@ -41,11 +41,12 @@ fn op_layer_flags(op: IoOp, layer: Layer) -> u8 {
         Layer::Application => 0u8,
         Layer::FileSystem => 1,
         Layer::Device => 2,
+        Layer::Retry => 3,
     };
     op_bit | (layer_bits << 1)
 }
 
-fn decode_flags(flags: u8) -> io::Result<(IoOp, Layer)> {
+fn decode_flags(flags: u8) -> (IoOp, Layer) {
     let op = if flags & 1 == 0 {
         IoOp::Read
     } else {
@@ -55,14 +56,9 @@ fn decode_flags(flags: u8) -> io::Result<(IoOp, Layer)> {
         0 => Layer::Application,
         1 => Layer::FileSystem,
         2 => Layer::Device,
-        _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad layer bits in binary record",
-            ))
-        }
+        _ => Layer::Retry,
     };
-    Ok((op, layer))
+    (op, layer)
 }
 
 /// Encode a trace into the compact 32-byte-per-record binary format.
@@ -147,7 +143,7 @@ pub fn from_binary(data: &[u8]) -> io::Result<Trace> {
         let file = FileId(data.u32_le());
         let flags = data.u8();
         data.skip(3);
-        let (op, layer) = decode_flags(flags)?;
+        let (op, layer) = decode_flags(flags);
         if end < start {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -273,6 +269,36 @@ mod tests {
             assert_eq!(x.file, y.file);
             assert_eq!(y.bytes % BLOCK_SIZE, 0);
         }
+    }
+
+    #[test]
+    fn retry_layer_roundtrips() {
+        let mut t = Trace::new();
+        for (i, layer) in [
+            Layer::Application,
+            Layer::FileSystem,
+            Layer::Device,
+            Layer::Retry,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            t.push(IoRecord::new(
+                ProcessId(0),
+                IoOp::Read,
+                FileId(0),
+                0,
+                4096,
+                Nanos::from_micros(i as u64 * 10),
+                Nanos::from_micros(i as u64 * 10 + 5),
+                layer,
+            ));
+        }
+        let back = from_binary(&to_binary(&t)).unwrap();
+        for (x, y) in t.records().iter().zip(back.records()) {
+            assert_eq!(x.layer, y.layer);
+        }
+        assert_eq!(back.records()[3].layer, Layer::Retry);
     }
 
     #[test]
