@@ -1,10 +1,14 @@
 //! Regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce all            # everything, quick scale (default)
-//! reproduce fig12          # one experiment
-//! reproduce fig5 --tiny    # test scale
-//! reproduce all --paper    # the paper's full data volumes (slow)
+//! reproduce all                    # everything, quick scale (default)
+//! reproduce fig12                  # one experiment
+//! reproduce fig5 --tiny            # test scale
+//! reproduce all --paper            # the paper's full data volumes (slow)
+//! reproduce list                   # the bundled scenarios, by name
+//! reproduce run fig9 --tiny        # any bundled scenario through the engine
+//! reproduce run my_sweep.json      # a user-authored scenario, no recompiling
+//! reproduce check my_sweep.json    # parse + expand without running
 //! ```
 
 use bps_experiments::export;
@@ -13,11 +17,40 @@ use bps_experiments::figures::{
     fig11, fig12, overhead, summary, tables, writes,
 };
 use bps_experiments::scale::Scale;
-use std::path::PathBuf;
+use bps_experiments::scenario::{engine, registry, spec::Scenario};
+use std::path::{Path, PathBuf};
+
+/// The fixed report targets, in `all` order.
+const TARGETS: [&str; 19] = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "summary",
+    "extensions",
+    "overhead",
+    "writes",
+    "faults",
+];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce <all|table1|table2|fig1..fig12|summary|extensions|overhead|writes|faults> [--quick|--tiny|--paper] [--csv <dir>]"
+        "usage: reproduce <target>... [--quick|--tiny|--paper] [--csv <dir>]\n\
+         \x20      reproduce list [filter]\n\
+         \x20      reproduce run <name|path.json>... [--quick|--tiny|--paper] [--csv <dir>]\n\
+         \x20      reproduce check <path.json>...\n\
+         targets: all, {}",
+        TARGETS.join(", ")
     );
     std::process::exit(2);
 }
@@ -28,6 +61,99 @@ fn usage() -> ! {
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(1);
+}
+
+/// Resolve a `run` operand: a bundled scenario name, or a path to a JSON
+/// file (anything with a `.json` suffix or that exists on disk).
+fn resolve_scenario(arg: &str) -> Scenario {
+    if arg.ends_with(".json") || Path::new(arg).exists() {
+        match engine::load_path(Path::new(arg)) {
+            Ok(sc) => sc,
+            Err(e) => fail(e),
+        }
+    } else {
+        match registry::find(arg) {
+            Some(sc) => sc,
+            None => fail(format_args!(
+                "no bundled scenario named `{arg}` (try `reproduce list`, or pass a .json path)"
+            )),
+        }
+    }
+}
+
+fn cmd_list(filter: Option<&str>) {
+    for sc in registry::all() {
+        if let Some(f) = filter {
+            if !sc.name.contains(f) {
+                continue;
+            }
+        }
+        println!("{:<18} {}", sc.name, sc.title);
+    }
+}
+
+fn cmd_check(paths: &[String]) {
+    for p in paths {
+        let sc = match engine::load_path(Path::new(p)) {
+            Ok(sc) => sc,
+            Err(e) => fail(e),
+        };
+        let scales = [
+            ("tiny", Scale::tiny()),
+            ("quick", Scale::quick()),
+            ("paper", Scale::paper()),
+        ];
+        let mut quick_cases = 0;
+        for (name, scale) in &scales {
+            match engine::expand(&sc, scale) {
+                Ok(cases) => {
+                    if *name == "quick" {
+                        quick_cases = cases.len();
+                    }
+                }
+                Err(e) => fail(format_args!("{p}: at --{name}: {e}")),
+            }
+        }
+        println!("ok: {} ({} cases at quick scale)", sc.name, quick_cases);
+    }
+}
+
+fn cmd_run(refs: &[String], scale: &Scale, csv_dir: Option<&PathBuf>) {
+    let mut bad = false;
+    for r in refs {
+        let sc = resolve_scenario(r);
+        let out = match engine::run(&sc, scale) {
+            Ok(out) => out,
+            Err(e) => fail(e),
+        };
+        if let Some(dir) = csv_dir {
+            let csv = match &out {
+                engine::ScenarioOutput::Cc(fig) => export::cc_figure_csv(fig),
+                engine::ScenarioOutput::Detail(s) => export::detail_series_csv(s),
+            };
+            match export::write_csv(dir, &sc.name, &csv) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => fail(format_args!(
+                    "cannot write {}.csv under {}: {e}",
+                    sc.name,
+                    dir.display()
+                )),
+            }
+        }
+        print!("{out}");
+        let violations = engine::violations(&out, &sc.expect, sc.verdict);
+        if !violations.is_empty() {
+            eprintln!("{}: expectation violations:", sc.name);
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            bad = true;
+        }
+        println!();
+    }
+    if bad {
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -54,36 +180,37 @@ fn main() {
             other => targets.push(other.to_string()),
         }
     }
-    if expect_csv_dir {
-        usage();
-    }
-    if targets.is_empty() {
+    if expect_csv_dir || targets.is_empty() {
         usage();
     }
 
-    let all = [
-        "table1",
-        "table2",
-        "fig1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "summary",
-        "extensions",
-        "overhead",
-        "writes",
-        "faults",
-    ];
+    match targets[0].as_str() {
+        "list" => {
+            if targets.len() > 2 {
+                usage();
+            }
+            cmd_list(targets.get(1).map(|s| s.as_str()));
+            return;
+        }
+        "run" => {
+            if targets.len() < 2 {
+                usage();
+            }
+            cmd_run(&targets[1..], &scale, csv_dir.as_ref());
+            return;
+        }
+        "check" => {
+            if targets.len() < 2 {
+                usage();
+            }
+            cmd_check(&targets[1..]);
+            return;
+        }
+        _ => {}
+    }
+
     let expanded: Vec<&str> = if targets.iter().any(|t| t == "all") {
-        all.to_vec()
+        TARGETS.to_vec()
     } else {
         targets.iter().map(|s| s.as_str()).collect()
     };
@@ -176,7 +303,11 @@ fn main() {
             }
             other => {
                 eprintln!("unknown target: {other}");
-                usage();
+                eprintln!("valid targets: all, {}", TARGETS.join(", "));
+                eprintln!(
+                    "bundled scenarios run with `reproduce run <name>`; see `reproduce list`"
+                );
+                std::process::exit(2);
             }
         }
         println!();

@@ -23,15 +23,15 @@ pub fn cc_figure_csv(fig: &CcFigure) -> String {
     }
     writeln!(out).unwrap();
     writeln!(out, "metric,normalized_cc,raw_cc,direction_correct").unwrap();
-    for (name, outcome) in &fig.rows {
-        match outcome {
+    for row in &fig.rows {
+        match &row.outcome {
             Some(o) => writeln!(
                 out,
                 "{},{},{},{}",
-                name, o.normalized, o.raw, o.direction_correct
+                row.metric, o.normalized, o.raw, o.direction_correct
             )
             .unwrap(),
-            None => writeln!(out, "{name},,,").unwrap(),
+            None => writeln!(out, "{},,,", row.metric).unwrap(),
         }
     }
     out

@@ -1,10 +1,24 @@
 //! Shared figure plumbing: CC bar charts and detail series.
 
 use crate::runner::CasePoint;
+use crate::scenario::spec::Expect;
 use bps_core::correlation::{normalized_cc, CcOutcome};
 use bps_core::metrics::paper_metrics;
 use serde::Serialize;
 use std::fmt;
+
+/// One metric's correlation verdict in a [`CcFigure`].
+#[derive(Debug, Clone, Serialize)]
+pub struct CcRow {
+    /// Metric name ("IOPS", "BW", "ARPT", "BPS").
+    pub metric: String,
+    /// The correlation outcome; `None` when the CC is undefined.
+    pub outcome: Option<CcOutcome>,
+    /// The cases whose value for this metric was non-finite — the reason
+    /// an outcome is missing (e.g. every seed of that case panicked, or a
+    /// zero-time run left the metric undefined).
+    pub undefined_in: Vec<String>,
+}
 
 /// A reproduced CC bar chart (Figures 4–6, 9, 11, 12): the four paper
 /// metrics scored against execution time over the sweep's cases.
@@ -14,12 +28,14 @@ pub struct CcFigure {
     pub label: String,
     /// The averaged sweep points.
     pub cases: Vec<CasePoint>,
-    /// (metric name, correlation outcome) in figure order.
-    pub rows: Vec<(String, Option<CcOutcome>)>,
+    /// One verdict per paper metric, in figure order.
+    pub rows: Vec<CcRow>,
 }
 
 impl CcFigure {
-    /// Score the four metrics over averaged case points.
+    /// Score the four metrics over averaged case points. A metric with a
+    /// non-finite value in any case gets no outcome, and the offending
+    /// cases are recorded so the report can say *why* the CC is missing.
     pub fn from_points(label: impl Into<String>, cases: Vec<CasePoint>) -> CcFigure {
         let exec: Vec<f64> = cases.iter().map(|c| c.exec_s).collect();
         let rows = paper_metrics()
@@ -29,12 +45,22 @@ impl CcFigure {
                     .iter()
                     .map(|c| c.metric(m.name()).unwrap_or(f64::NAN))
                     .collect();
-                let outcome = if values.iter().all(|v| v.is_finite()) {
+                let undefined_in: Vec<String> = cases
+                    .iter()
+                    .zip(&values)
+                    .filter(|(c, v)| !v.is_finite() || !c.exec_s.is_finite())
+                    .map(|(c, _)| c.label.clone())
+                    .collect();
+                let outcome = if undefined_in.is_empty() {
                     normalized_cc(&values, &exec, m.expected_direction()).ok()
                 } else {
                     None
                 };
-                (m.name().to_string(), outcome)
+                CcRow {
+                    metric: m.name().to_string(),
+                    outcome,
+                    undefined_in,
+                }
             })
             .collect();
         CcFigure {
@@ -44,20 +70,21 @@ impl CcFigure {
         }
     }
 
+    /// The row of a metric, if it is one of the paper's four.
+    pub fn row(&self, metric: &str) -> Option<&CcRow> {
+        self.rows.iter().find(|r| r.metric == metric)
+    }
+
     /// Normalized CC of a metric, if defined.
     pub fn normalized(&self, metric: &str) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|(name, _)| name == metric)
-            .and_then(|(_, o)| o.map(|o| o.normalized))
+        self.row(metric)
+            .and_then(|r| r.outcome.map(|o| o.normalized))
     }
 
     /// True when the metric's observed direction matches Table 1.
     pub fn direction_correct(&self, metric: &str) -> Option<bool> {
-        self.rows
-            .iter()
-            .find(|(name, _)| name == metric)
-            .and_then(|(_, o)| o.map(|o| o.direction_correct))
+        self.row(metric)
+            .and_then(|r| r.outcome.map(|o| o.direction_correct))
     }
 }
 
@@ -77,12 +104,12 @@ impl fmt::Display for CcFigure {
             )?;
         }
         writeln!(f, "normalized CC vs execution time:")?;
-        for (name, outcome) in &self.rows {
-            match outcome {
+        for row in &self.rows {
+            match &row.outcome {
                 Some(o) => writeln!(
                     f,
                     "  {:<5} {:>6.2}   ({})",
-                    name,
+                    row.metric,
                     o.normalized,
                     if o.direction_correct {
                         "correct direction"
@@ -90,11 +117,39 @@ impl fmt::Display for CcFigure {
                         "WRONG direction"
                     }
                 )?,
-                None => writeln!(f, "  {name:<5}    n/a")?,
+                None if !row.undefined_in.is_empty() => writeln!(
+                    f,
+                    "  {:<5}    n/a   (undefined in: {})",
+                    row.metric,
+                    row.undefined_in.join(", ")
+                )?,
+                None => writeln!(f, "  {:<5}    n/a", row.metric)?,
             }
         }
         Ok(())
     }
+}
+
+/// Assert that a figure meets a scenario's Table-1 expectations (test
+/// helper shared by every figure module; panics with the figure rendered
+/// so a failure shows the whole sweep).
+pub fn assert_cc_expectations(fig: &CcFigure, expect: &[Expect]) {
+    assert!(
+        !expect.is_empty(),
+        "no expectations to check for {}",
+        fig.label
+    );
+    let violations = crate::scenario::engine::violations(
+        &crate::scenario::engine::ScenarioOutput::Cc(fig.clone()),
+        expect,
+        None,
+    );
+    assert!(
+        violations.is_empty(),
+        "{}:\n  {}\n{fig}",
+        fig.label,
+        violations.join("\n  ")
+    );
 }
 
 /// A detail figure (Figures 7, 8, 10): one metric plotted against execution
@@ -113,7 +168,7 @@ impl DetailSeries {
     /// Extract a metric's series from averaged case points.
     pub fn from_points(
         label: impl Into<String>,
-        metric: &'static str,
+        metric: &str,
         cases: &[CasePoint],
     ) -> DetailSeries {
         DetailSeries {
@@ -190,6 +245,12 @@ mod tests {
         }
         let shown = format!("{fig}");
         assert!(shown.contains("correct direction"));
+        // The expectation helper agrees.
+        let expect: Vec<Expect> = ["IOPS", "BW", "ARPT", "BPS"]
+            .iter()
+            .map(|m| Expect::correct(m, 0.9))
+            .collect();
+        assert_cc_expectations(&fig, &expect);
     }
 
     #[test]
@@ -216,6 +277,13 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "expected WRONG")]
+    fn expectation_helper_panics_on_violation() {
+        let fig = CcFigure::from_points("test", well_behaved());
+        assert_cc_expectations(&fig, &[Expect::wrong("IOPS")]);
+    }
+
+    #[test]
     fn detail_series_extracts_metric() {
         let cases = well_behaved();
         let s = DetailSeries::from_points("fig", "IOPS", &cases);
@@ -225,11 +293,30 @@ mod tests {
     }
 
     #[test]
-    fn nan_metric_yields_none() {
+    fn nan_metric_yields_none_and_names_the_case() {
         let mut cases = well_behaved();
         cases[0].bw = f64::NAN;
+        cases[2].bw = f64::NAN;
         let fig = CcFigure::from_points("test", cases);
         assert!(fig.normalized("BW").is_none());
         assert!(fig.normalized("BPS").is_some());
+        // The report names the cases that blanked the CC.
+        assert_eq!(fig.row("BW").unwrap().undefined_in, vec!["case1", "case3"]);
+        let shown = format!("{fig}");
+        assert!(
+            shown.contains("n/a   (undefined in: case1, case3)"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn nan_exec_time_blanks_every_metric_with_the_case_named() {
+        let mut cases = well_behaved();
+        cases[1].exec_s = f64::NAN;
+        let fig = CcFigure::from_points("test", cases);
+        for m in ["IOPS", "BW", "ARPT", "BPS"] {
+            assert!(fig.normalized(m).is_none(), "{m}");
+            assert_eq!(fig.row(m).unwrap().undefined_in, vec!["case2"], "{m}");
+        }
     }
 }

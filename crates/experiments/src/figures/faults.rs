@@ -28,13 +28,15 @@
 //!   actually experienced.
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
+use crate::runner::CasePoint;
 use crate::scale::Scale;
-use crate::sweep::SweepExec;
+use crate::scenario::engine;
+use crate::scenario::spec::{
+    CaseDecl, CaseTemplate, DeviceErrorSpec, FaultSpec, Grid, LayoutSpec, LinkLossSpec,
+    OutageTrainSpec, OutputSpec, Patch, RetrySpec, Scenario, SlowdownSpec, StorageSpec,
+    WorkloadTemplate,
+};
 use bps_core::extent::Extent;
-use bps_core::time::{Dur, Nanos};
-use bps_middleware::stack::RetryPolicy;
-use bps_sim::fault::{FaultPlan, Outage, SlowdownWindow};
 use bps_workloads::spec::{AppOp, OpStream, Workload};
 use std::fmt::Write;
 
@@ -148,83 +150,104 @@ impl FaultKind {
         }
     }
 
-    /// The labelled fault shapes of this variety's cases, healthy first.
-    /// The plan seed is derived from the variety so two varieties never
-    /// share an injector stream.
-    pub fn shapes(&self) -> Vec<(String, FaultPlan)> {
-        let base = || FaultPlan {
-            seed: 0x5E7_5000 + *self as u64,
-            ..FaultPlan::none()
-        };
-        // A permanent straggler window on one server.
-        let slow = |server: usize, factor: f64| SlowdownWindow {
-            server,
-            start: Nanos::ZERO,
-            end: Nanos::from_secs(1 << 20),
-            factor,
-        };
+    /// The labelled fault shapes of this variety's cases, healthy first
+    /// (`None` = no plan). The plan seed is derived from the variety so
+    /// two varieties never share an injector stream.
+    pub fn shapes(&self) -> Vec<(String, Option<FaultSpec>)> {
+        let base = || FaultSpec::seeded(0x5E7_5000 + *self as u64);
+        let slow = |server: usize, factor: f64| SlowdownSpec { server, factor };
         // Periodic outages on one server: `width` ms down starting `phase`
         // ms into every `period` ms cycle. Blanketing a long horizon keeps
         // the duty cycle meaningful at any scale preset's run length.
-        let outages = |plan: FaultPlan, server: usize, width: u64, period: u64, phase: u64| {
-            let mut plan = plan;
-            for cycle in 0..4000u64 {
-                let start = 10 + period * cycle + phase;
-                plan = plan.with_outage(Outage {
-                    server,
-                    start: Nanos::from_millis(start),
-                    end: Nanos::from_millis(start + width),
-                });
-            }
-            plan
+        let outages = |server: usize, width: u64, period: u64, phase: u64| {
+            let mut spec = base();
+            spec.outage_trains = vec![OutageTrainSpec {
+                server,
+                width_ms: width,
+                period_ms: period,
+                phase_ms: phase,
+                cycles: 4000,
+            }];
+            spec
         };
-        let healthy = ("healthy".to_string(), FaultPlan::none());
-        let shaped: Vec<(&str, FaultPlan)> = match self {
+        let slowed = |windows: Vec<SlowdownSpec>| {
+            let mut spec = base();
+            spec.slowdowns = windows;
+            spec
+        };
+        let errors = |rates: Vec<DeviceErrorSpec>| {
+            let mut spec = base();
+            spec.device_errors = rates;
+            spec
+        };
+        let lossy = |rate: f64, delay_ms: u64| {
+            let mut spec = base();
+            spec.link_loss = Some(LinkLossSpec {
+                rate,
+                retransmit_delay_ms: delay_ms,
+            });
+            spec
+        };
+        let healthy = ("healthy".to_string(), None);
+        let shaped: Vec<(&str, FaultSpec)> = match self {
             FaultKind::Straggler => vec![
-                ("all-x1.5", {
-                    let mut p = base();
-                    for s in 0..SERVERS {
-                        p = p.with_slowdown(slow(s, 1.5));
-                    }
-                    p
-                }),
-                ("one-x2.5", base().with_slowdown(slow(0, 2.5))),
-                ("two-x2.0", {
-                    base()
-                        .with_slowdown(slow(0, 2.0))
-                        .with_slowdown(slow(1, 2.0))
-                }),
-                ("one-x4.0", base().with_slowdown(slow(0, 4.0))),
+                (
+                    "all-x1.5",
+                    slowed((0..SERVERS).map(|s| slow(s, 1.5)).collect()),
+                ),
+                ("one-x2.5", slowed(vec![slow(0, 2.5)])),
+                ("two-x2.0", slowed(vec![slow(0, 2.0), slow(1, 2.0)])),
+                ("one-x4.0", slowed(vec![slow(0, 4.0)])),
             ],
             FaultKind::DeviceErrors => vec![
-                ("uni-.05", base().with_device_errors(0.05)),
-                ("hot1-.65", base().with_device_errors_on(0, 0.65)),
-                ("hot2-.40", {
-                    base()
-                        .with_device_errors_on(0, 0.40)
-                        .with_device_errors_on(1, 0.40)
-                }),
-                ("uni-.15", base().with_device_errors(0.15)),
+                (
+                    "uni-.05",
+                    errors(vec![DeviceErrorSpec::Uniform { rate: 0.05 }]),
+                ),
+                (
+                    "hot1-.65",
+                    errors(vec![DeviceErrorSpec::Server {
+                        server: 0,
+                        rate: 0.65,
+                    }]),
+                ),
+                (
+                    "hot2-.40",
+                    errors(vec![
+                        DeviceErrorSpec::Server {
+                            server: 0,
+                            rate: 0.40,
+                        },
+                        DeviceErrorSpec::Server {
+                            server: 1,
+                            rate: 0.40,
+                        },
+                    ]),
+                ),
+                (
+                    "uni-.15",
+                    errors(vec![DeviceErrorSpec::Uniform { rate: 0.15 }]),
+                ),
             ],
             FaultKind::LinkLoss => vec![
-                ("p.01-d8", base().with_link_loss(0.01, Dur::from_millis(8))),
-                ("p.04-d2", base().with_link_loss(0.04, Dur::from_millis(2))),
-                ("p.04-d8", base().with_link_loss(0.04, Dur::from_millis(8))),
-                ("p.10-d4", base().with_link_loss(0.10, Dur::from_millis(4))),
+                ("p.01-d8", lossy(0.01, 8)),
+                ("p.04-d2", lossy(0.04, 2)),
+                ("p.04-d8", lossy(0.04, 8)),
+                ("p.10-d4", lossy(0.10, 4)),
             ],
             FaultKind::Outages => vec![
                 // Short windows are ridden out (duration inflation, no
                 // censoring); 60 ms windows outlast the ~57 ms write-retry
                 // span and abandon the write caught inside, so block damage
                 // accelerates down the list while execution time grows.
-                ("freq-8ms", outages(base(), 1, 8, 64, 40)),
-                ("one-60ms", outages(base(), 1, 60, 480, 30)),
-                ("two-60ms", outages(base(), 1, 60, 240, 30)),
-                ("many-60ms", outages(base(), 1, 60, 110, 30)),
+                ("freq-8ms", outages(1, 8, 64, 40)),
+                ("one-60ms", outages(1, 60, 480, 30)),
+                ("two-60ms", outages(1, 60, 240, 30)),
+                ("many-60ms", outages(1, 60, 110, 30)),
             ],
         };
         std::iter::once(healthy)
-            .chain(shaped.into_iter().map(|(l, p)| (l.to_string(), p)))
+            .chain(shaped.into_iter().map(|(l, p)| (l.to_string(), Some(p))))
             .collect()
     }
 
@@ -233,10 +256,10 @@ impl FaultKind {
     /// concentrated fault degrades one process while the others stay
     /// healthy — the asymmetry per-op averages dilute away. Link loss is
     /// uniform over the fabric, so those cases stripe normally.
-    pub fn layout(&self) -> LayoutPolicy {
+    pub fn layout(&self) -> LayoutSpec {
         match self {
-            FaultKind::LinkLoss => LayoutPolicy::DefaultStripe,
-            _ => LayoutPolicy::PinnedPerFile,
+            FaultKind::LinkLoss => LayoutSpec::DefaultStripe,
+            _ => LayoutSpec::PinnedPerFile,
         }
     }
 
@@ -247,49 +270,65 @@ impl FaultKind {
     /// longer ones exhaust the budget and abandon the request. Error
     /// varieties keep the backoff tight so retry inflation stays in
     /// proportion to the damage.
-    pub fn retry(&self) -> RetryPolicy {
+    pub fn retry(&self) -> RetrySpec {
         match self {
-            FaultKind::Outages => RetryPolicy {
+            FaultKind::Outages => RetrySpec::Custom {
                 max_attempts: 3,
-                base_backoff: Dur::from_micros(500),
-                max_backoff: Dur::from_millis(4),
-                timeout: None,
+                base_backoff_us: 500,
+                max_backoff_us: 4_000,
             },
-            FaultKind::DeviceErrors => RetryPolicy {
+            FaultKind::DeviceErrors => RetrySpec::Custom {
                 max_attempts: 4,
-                base_backoff: Dur::from_micros(300),
-                max_backoff: Dur::from_millis(3),
-                timeout: None,
+                base_backoff_us: 300,
+                max_backoff_us: 3_000,
             },
-            _ => RetryPolicy::default(),
+            _ => RetrySpec::Default,
+        }
+    }
+
+    /// This variety's sweep as data.
+    pub fn scenario(&self) -> Scenario {
+        let mut base = CaseTemplate::new(
+            StorageSpec::Pvfs { servers: SERVERS },
+            WorkloadTemplate::DegradedMix,
+        );
+        base.layout = Some(self.layout());
+        base.retry = Some(self.retry());
+        Scenario {
+            name: format!("faults-{}", self.name()),
+            title: format!("Set 5 ({}): CC across fault shapes", self.name()),
+            output: OutputSpec::Cc,
+            base,
+            grid: Grid::single(
+                self.shapes()
+                    .into_iter()
+                    .map(|(label, fault)| {
+                        CaseDecl::new(
+                            label,
+                            Patch {
+                                fault,
+                                ..Patch::none()
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+            expect: Vec::new(),
+            verdict: None,
         }
     }
 }
 
 /// Sweep one variety over its fault shapes and score the metrics.
 pub fn variety(kind: FaultKind, scale: &Scale) -> CcFigure {
-    CcFigure::from_points(
-        format!("Set 5 ({}): CC across fault shapes", kind.name()),
-        points(kind, scale),
-    )
+    engine::run(&kind.scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_cc()
 }
 
-/// The averaged sweep points of one variety (shared with the report).
+/// The averaged sweep points of one variety.
 pub fn points(kind: FaultKind, scale: &Scale) -> Vec<CasePoint> {
-    let workload = DegradedMix::from_scale(scale);
-    let seeds = scale.seeds();
-    let shapes = kind.shapes();
-    let cases: Vec<(String, CaseSpec)> = shapes
-        .into_iter()
-        .map(|(label, plan)| {
-            let mut spec =
-                CaseSpec::new(Storage::Pvfs { servers: SERVERS }, &workload).with_fault(plan);
-            spec.layout = kind.layout();
-            spec.retry = kind.retry();
-            (label, spec)
-        })
-        .collect();
-    SweepExec::from_env().run(&cases, &seeds)
+    variety(kind, scale).cases
 }
 
 /// Whether BPS has the strictly largest |CC| of the four metrics in a
@@ -379,7 +418,8 @@ mod tests {
             let shapes = kind.shapes();
             assert_eq!(shapes.len(), CASES_PER_VARIETY, "{}", kind.name());
             assert!(shapes[0].1.is_none(), "{}", kind.name());
-            for (label, plan) in &shapes[1..] {
+            for (label, spec) in &shapes[1..] {
+                let plan = engine::build_fault(spec.as_ref().unwrap());
                 assert!(!plan.is_none(), "{}/{label}", kind.name());
             }
         }

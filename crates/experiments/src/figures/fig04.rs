@@ -12,53 +12,85 @@
 //! server count actually matters.
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CaseSpec, Storage};
 use crate::scale::Scale;
-use crate::sweep::SweepExec;
-use bps_workloads::iozone::Iozone;
+use crate::scenario::engine;
+use crate::scenario::spec::{
+    CaseDecl, CaseTemplate, Expect, Grid, Num, OutputSpec, Patch, ScaleKnob, Scenario, StorageSpec,
+    WorkloadTemplate,
+};
+use bps_workloads::iozone::IozoneMode;
 
 /// Record size used for the sequential read.
 pub const RECORD_SIZE: u64 = 1 << 20;
 
 /// The storage cases, in the paper's order.
-pub fn storages() -> Vec<(String, Storage)> {
+pub fn storages() -> Vec<(String, StorageSpec)> {
     let mut v = vec![
-        ("hdd".to_string(), Storage::Hdd),
-        ("ssd".to_string(), Storage::Ssd),
+        ("hdd".to_string(), StorageSpec::Hdd),
+        ("ssd".to_string(), StorageSpec::Ssd),
     ];
     for servers in 1..=8 {
-        v.push((format!("pvfs-{servers}"), Storage::Pvfs { servers }));
+        v.push((format!("pvfs-{servers}"), StorageSpec::Pvfs { servers }));
     }
     v
 }
 
+/// The sweep as data.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "fig4".to_string(),
+        title: "Figure 4: CC across storage devices".to_string(),
+        output: OutputSpec::Cc,
+        base: CaseTemplate::new(
+            StorageSpec::Hdd,
+            WorkloadTemplate::Iozone {
+                mode: IozoneMode::SeqRead,
+                file_size: Num::Knob {
+                    knob: ScaleKnob::Fig4File,
+                },
+                record_size: Num::Abs { n: RECORD_SIZE },
+                processes: 1,
+                seed: 0,
+            },
+        ),
+        grid: Grid::single(
+            storages()
+                .into_iter()
+                .map(|(label, storage)| {
+                    CaseDecl::new(
+                        label,
+                        Patch {
+                            storage: Some(storage),
+                            ..Patch::none()
+                        },
+                    )
+                })
+                .collect(),
+        ),
+        expect: ["IOPS", "BW", "ARPT", "BPS"]
+            .iter()
+            .map(|m| Expect::correct(m, 0.7))
+            .collect(),
+        verdict: None,
+    }
+}
+
 /// Run the sweep and score the metrics.
 pub fn run(scale: &Scale) -> CcFigure {
-    let seeds = scale.seeds();
-    let workload = Iozone::seq_read(scale.fig4_file, RECORD_SIZE);
-    let cases: Vec<(String, CaseSpec)> = storages()
-        .into_iter()
-        .map(|(label, storage)| (label, CaseSpec::new(storage, &workload)))
-        .collect();
-    let points = SweepExec::from_env().run(&cases, &seeds);
-    CcFigure::from_points("Figure 4: CC across storage devices", points)
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_cc()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::common::assert_cc_expectations;
 
     #[test]
     fn all_four_metrics_correct_and_strong() {
         let fig = run(&Scale::tiny());
-        for m in ["IOPS", "BW", "ARPT", "BPS"] {
-            assert_eq!(fig.direction_correct(m), Some(true), "{m}: {fig}");
-            assert!(
-                fig.normalized(m).unwrap() > 0.7,
-                "{m} weak: {}",
-                fig.normalized(m).unwrap()
-            );
-        }
+        assert_cc_expectations(&fig, &scenario().expect);
     }
 
     #[test]

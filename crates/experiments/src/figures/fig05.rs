@@ -7,10 +7,13 @@
 //! applications.
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CasePoint, CaseSpec, Storage};
 use crate::scale::Scale;
-use crate::sweep::SweepExec;
-use bps_workloads::iozone::Iozone;
+use crate::scenario::engine;
+use crate::scenario::spec::{
+    CaseDecl, CaseTemplate, Expect, Grid, Num, OutputSpec, Patch, ScaleKnob, Scenario, StorageSpec,
+    WorkloadTemplate,
+};
+use bps_workloads::iozone::IozoneMode;
 
 /// The record-size sweep: 4 KB to 8 MB.
 pub const RECORD_SIZES: [u64; 7] = [
@@ -23,7 +26,8 @@ pub const RECORD_SIZES: [u64; 7] = [
     8 << 20,
 ];
 
-fn label_of(rs: u64) -> String {
+/// Human label of a record size ("4KB", "1MB", ...).
+pub fn label_of(rs: u64) -> String {
     if rs >= 1 << 20 {
         format!("{}MB", rs >> 20)
     } else {
@@ -31,37 +35,98 @@ fn label_of(rs: u64) -> String {
     }
 }
 
-/// Run the sweep on the given storage (shared with Figure 6).
-pub fn points_on(storage: Storage, file_size: u64, seeds: &[u64]) -> Vec<CasePoint> {
-    let workloads: Vec<Iozone> = RECORD_SIZES
+/// The record-size grid dimension (shared by Figures 5–8 and the write
+/// extension).
+pub fn record_size_cells() -> Vec<CaseDecl> {
+    RECORD_SIZES
         .iter()
-        .map(|&rs| Iozone::seq_read(file_size, rs))
-        .collect();
-    let cases: Vec<(String, CaseSpec)> = workloads
-        .iter()
-        .map(|w| (label_of(w.record_size), CaseSpec::new(storage, w)))
-        .collect();
-    SweepExec::from_env().run(&cases, seeds)
+        .map(|&rs| {
+            CaseDecl::new(
+                label_of(rs),
+                Patch {
+                    record_size: Some(rs),
+                    ..Patch::none()
+                },
+            )
+        })
+        .collect()
+}
+
+/// The Set 2 sweep shape as data: IOzone over the record sizes on one
+/// device, parameterized by mode and output so Figures 5–8 and the write
+/// extension all declare one-liners.
+pub fn record_size_scenario(
+    name: &str,
+    title: &str,
+    storage: StorageSpec,
+    mode: IozoneMode,
+    output: OutputSpec,
+    expect: Vec<Expect>,
+) -> Scenario {
+    Scenario {
+        name: name.to_string(),
+        title: title.to_string(),
+        output,
+        base: CaseTemplate::new(
+            storage,
+            WorkloadTemplate::Iozone {
+                mode,
+                file_size: Num::Knob {
+                    knob: ScaleKnob::Fig5File,
+                },
+                record_size: Num::Abs { n: RECORD_SIZES[0] },
+                processes: 1,
+                seed: 0,
+            },
+        ),
+        grid: Grid::single(record_size_cells()),
+        expect,
+        verdict: None,
+    }
+}
+
+/// The Set 2 expectations: throughput-per-byte metrics track the
+/// application, per-op metrics point the wrong way.
+pub(crate) fn size_sweep_expect(bps_floor: Option<f64>) -> Vec<Expect> {
+    vec![
+        match bps_floor {
+            Some(floor) => Expect::correct("BPS", floor),
+            None => Expect::correct_direction("BPS"),
+        },
+        Expect::correct_direction("BW"),
+        Expect::wrong("IOPS"),
+        Expect::wrong("ARPT"),
+    ]
+}
+
+/// The sweep as data.
+pub fn scenario() -> Scenario {
+    record_size_scenario(
+        "fig5",
+        "Figure 5: CC across I/O sizes (HDD)",
+        StorageSpec::Hdd,
+        IozoneMode::SeqRead,
+        OutputSpec::Cc,
+        size_sweep_expect(Some(0.7)),
+    )
 }
 
 /// Run the HDD sweep and score the metrics.
 pub fn run(scale: &Scale) -> CcFigure {
-    let points = points_on(Storage::Hdd, scale.fig5_file, &scale.seeds());
-    CcFigure::from_points("Figure 5: CC across I/O sizes (HDD)", points)
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_cc()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::common::assert_cc_expectations;
 
     #[test]
     fn bw_and_bps_correct_iops_and_arpt_wrong() {
         let fig = run(&Scale::tiny());
-        assert_eq!(fig.direction_correct("BW"), Some(true), "{fig}");
-        assert_eq!(fig.direction_correct("BPS"), Some(true), "{fig}");
-        assert!(fig.normalized("BPS").unwrap() > 0.7, "{fig}");
-        assert_eq!(fig.direction_correct("IOPS"), Some(false), "{fig}");
-        assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+        assert_cc_expectations(&fig, &scenario().expect);
     }
 
     #[test]

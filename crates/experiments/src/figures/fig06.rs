@@ -5,27 +5,40 @@
 //! sizing, not the medium.
 
 use crate::figures::common::CcFigure;
-use crate::figures::fig05::points_on;
-use crate::runner::Storage;
+use crate::figures::fig05::{record_size_scenario, size_sweep_expect};
 use crate::scale::Scale;
+use crate::scenario::engine;
+use crate::scenario::spec::{OutputSpec, Scenario, StorageSpec};
+use bps_workloads::iozone::IozoneMode;
+
+/// The sweep as data.
+pub fn scenario() -> Scenario {
+    record_size_scenario(
+        "fig6",
+        "Figure 6: CC across I/O sizes (SSD)",
+        StorageSpec::Ssd,
+        IozoneMode::SeqRead,
+        OutputSpec::Cc,
+        size_sweep_expect(None),
+    )
+}
 
 /// Run the SSD sweep and score the metrics.
 pub fn run(scale: &Scale) -> CcFigure {
-    let points = points_on(Storage::Ssd, scale.fig5_file, &scale.seeds());
-    CcFigure::from_points("Figure 6: CC across I/O sizes (SSD)", points)
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_cc()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::common::assert_cc_expectations;
 
     #[test]
     fn same_verdicts_as_hdd() {
         let fig = run(&Scale::tiny());
-        assert_eq!(fig.direction_correct("BW"), Some(true), "{fig}");
-        assert_eq!(fig.direction_correct("BPS"), Some(true), "{fig}");
-        assert_eq!(fig.direction_correct("IOPS"), Some(false), "{fig}");
-        assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+        assert_cc_expectations(&fig, &scenario().expect);
     }
 
     #[test]

@@ -6,18 +6,31 @@
 //! computer performance is largely increased."
 
 use crate::figures::common::DetailSeries;
-use crate::figures::fig05::points_on;
-use crate::runner::Storage;
+use crate::figures::fig05::record_size_scenario;
 use crate::scale::Scale;
+use crate::scenario::engine;
+use crate::scenario::spec::{OutputSpec, Scenario, StorageSpec};
+use bps_workloads::iozone::IozoneMode;
+
+/// The sweep as data.
+pub fn scenario() -> Scenario {
+    record_size_scenario(
+        "fig7",
+        "Figure 7: IOPS vs execution time across I/O sizes (HDD)",
+        StorageSpec::Hdd,
+        IozoneMode::SeqRead,
+        OutputSpec::Detail {
+            metric: "IOPS".to_string(),
+        },
+        Vec::new(),
+    )
+}
 
 /// Run the sweep and extract the IOPS detail series.
 pub fn run(scale: &Scale) -> DetailSeries {
-    let points = points_on(Storage::Hdd, scale.fig5_file, &scale.seeds());
-    DetailSeries::from_points(
-        "Figure 7: IOPS vs execution time across I/O sizes (HDD)",
-        "IOPS",
-        &points,
-    )
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_detail()
 }
 
 #[cfg(test)]

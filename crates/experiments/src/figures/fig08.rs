@@ -5,18 +5,31 @@
 //! overall computer performance is largely increased."
 
 use crate::figures::common::DetailSeries;
-use crate::figures::fig05::points_on;
-use crate::runner::Storage;
+use crate::figures::fig05::record_size_scenario;
 use crate::scale::Scale;
+use crate::scenario::engine;
+use crate::scenario::spec::{OutputSpec, Scenario, StorageSpec};
+use bps_workloads::iozone::IozoneMode;
+
+/// The sweep as data.
+pub fn scenario() -> Scenario {
+    record_size_scenario(
+        "fig8",
+        "Figure 8: ARPT vs execution time across I/O sizes (SSD)",
+        StorageSpec::Ssd,
+        IozoneMode::SeqRead,
+        OutputSpec::Detail {
+            metric: "ARPT".to_string(),
+        },
+        Vec::new(),
+    )
+}
 
 /// Run the sweep and extract the ARPT detail series.
 pub fn run(scale: &Scale) -> DetailSeries {
-    let points = points_on(Storage::Ssd, scale.fig5_file, &scale.seeds());
-    DetailSeries::from_points(
-        "Figure 8: ARPT vs execution time across I/O sizes (SSD)",
-        "ARPT",
-        &points,
-    )
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_detail()
 }
 
 #[cfg(test)]

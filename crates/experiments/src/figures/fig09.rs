@@ -9,54 +9,92 @@
 //! finishes sooner while per-request response times inch *up*.
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
 use crate::scale::Scale;
-use crate::sweep::SweepExec;
-use bps_workloads::iozone::Iozone;
+use crate::scenario::engine;
+use crate::scenario::spec::{
+    CaseDecl, CaseTemplate, Expect, Grid, LayoutSpec, Num, OutputSpec, Patch, ScaleKnob, Scenario,
+    StorageSpec, WorkloadTemplate,
+};
+use bps_workloads::iozone::IozoneMode;
 
 /// Record size of the per-process sequential reads.
 pub const RECORD_SIZE: u64 = 64 << 10;
 
-/// Run the sweep points (shared with Figure 10).
-pub fn points(scale: &Scale) -> Vec<CasePoint> {
-    let seeds = scale.seeds();
-    let workloads: Vec<Iozone> = (1..=8usize)
-        .map(|n| Iozone::throughput_read(n, scale.fig9_total / n as u64, RECORD_SIZE))
-        .collect();
-    let cases: Vec<(String, CaseSpec)> = workloads
-        .iter()
-        .enumerate()
-        .map(|(i, w)| {
-            let n = i + 1;
-            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, w);
-            spec.layout = LayoutPolicy::PinnedPerFile;
-            spec.clients = n;
-            (format!("np={n}"), spec)
-        })
-        .collect();
-    SweepExec::from_env().run(&cases, &seeds)
+/// The Set 3a sweep shape as data (shared with Figure 10): `np` processes
+/// on 8 pinned servers, the scale's total bytes split over the processes.
+pub fn concurrency_scenario(
+    name: &str,
+    title: &str,
+    output: OutputSpec,
+    expect: Vec<Expect>,
+) -> Scenario {
+    let mut base = CaseTemplate::new(
+        StorageSpec::Pvfs { servers: 8 },
+        WorkloadTemplate::Iozone {
+            mode: IozoneMode::SeqRead,
+            file_size: Num::KnobPerProcess {
+                knob: ScaleKnob::Fig9Total,
+            },
+            record_size: Num::Abs { n: RECORD_SIZE },
+            processes: 1,
+            seed: 0,
+        },
+    );
+    base.layout = Some(LayoutSpec::PinnedPerFile);
+    Scenario {
+        name: name.to_string(),
+        title: title.to_string(),
+        output,
+        base,
+        grid: Grid::single(
+            (1..=8usize)
+                .map(|n| {
+                    CaseDecl::new(
+                        format!("np={n}"),
+                        Patch {
+                            processes: Some(n),
+                            ..Patch::none()
+                        },
+                    )
+                })
+                .collect(),
+        ),
+        expect,
+        verdict: None,
+    }
+}
+
+/// The sweep as data.
+pub fn scenario() -> Scenario {
+    concurrency_scenario(
+        "fig9",
+        "Figure 9: CC under pure concurrency (per-process files, pinned servers)",
+        OutputSpec::Cc,
+        vec![
+            Expect::correct("IOPS", 0.8),
+            Expect::correct("BW", 0.8),
+            Expect::correct("BPS", 0.8),
+            Expect::wrong("ARPT"),
+        ],
+    )
 }
 
 /// Run the sweep and score the metrics.
 pub fn run(scale: &Scale) -> CcFigure {
-    CcFigure::from_points(
-        "Figure 9: CC under pure concurrency (per-process files, pinned servers)",
-        points(scale),
-    )
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_cc()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::common::assert_cc_expectations;
 
     #[test]
     fn throughput_metrics_correct_arpt_wrong() {
         let fig = run(&Scale::tiny());
-        for m in ["IOPS", "BW", "BPS"] {
-            assert_eq!(fig.direction_correct(m), Some(true), "{m}: {fig}");
-            assert!(fig.normalized(m).unwrap() > 0.8, "{m}: {fig}");
-        }
-        assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+        assert_cc_expectations(&fig, &scenario().expect);
     }
 
     #[test]

@@ -5,16 +5,28 @@
 //! performance accurately."
 
 use crate::figures::common::DetailSeries;
-use crate::figures::fig09::points;
+use crate::figures::fig09::concurrency_scenario;
 use crate::scale::Scale;
+use crate::scenario::engine;
+use crate::scenario::spec::{OutputSpec, Scenario};
+
+/// The sweep as data.
+pub fn scenario() -> Scenario {
+    concurrency_scenario(
+        "fig10",
+        "Figure 10: ARPT vs execution time across I/O concurrency",
+        OutputSpec::Detail {
+            metric: "ARPT".to_string(),
+        },
+        Vec::new(),
+    )
+}
 
 /// Run the sweep and extract the ARPT detail series.
 pub fn run(scale: &Scale) -> DetailSeries {
-    DetailSeries::from_points(
-        "Figure 10: ARPT vs execution time across I/O concurrency",
-        "ARPT",
-        &points(scale),
-    )
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_detail()
 }
 
 #[cfg(test)]

@@ -8,46 +8,76 @@
 //! way (paper: ~0.39) as server queues grow with fan-in.
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CaseSpec, LayoutPolicy, Storage};
 use crate::scale::Scale;
-use crate::sweep::SweepExec;
-use bps_workloads::ior::Ior;
+use crate::scenario::engine;
+use crate::scenario::spec::{
+    CaseDecl, CaseTemplate, Expect, Grid, Num, OutputSpec, Patch, ScaleKnob, Scenario, StorageSpec,
+    WorkloadTemplate,
+};
 
 /// The process counts swept.
 pub const PROCESS_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
+/// The IOR transfer size (the paper's 64 KB).
+pub const TRANSFER_SIZE: u64 = 64 << 10;
+
+/// The sweep as data.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "fig11".to_string(),
+        title: "Figure 11: CC for IOR on a shared striped file".to_string(),
+        output: OutputSpec::Cc,
+        base: CaseTemplate::new(
+            StorageSpec::Pvfs { servers: 8 },
+            WorkloadTemplate::IorShared {
+                file_size: Num::Knob {
+                    knob: ScaleKnob::Fig11Total,
+                },
+                transfer_size: TRANSFER_SIZE,
+                write: false,
+                processes: 1,
+            },
+        ),
+        grid: Grid::single(
+            PROCESS_COUNTS
+                .iter()
+                .map(|&n| {
+                    CaseDecl::new(
+                        format!("np={n}"),
+                        Patch {
+                            processes: Some(n),
+                            ..Patch::none()
+                        },
+                    )
+                })
+                .collect(),
+        ),
+        expect: vec![
+            Expect::correct("IOPS", 0.6),
+            Expect::correct("BW", 0.6),
+            Expect::correct("BPS", 0.6),
+            Expect::wrong("ARPT"),
+        ],
+        verdict: None,
+    }
+}
+
 /// Run the sweep and score the metrics.
 pub fn run(scale: &Scale) -> CcFigure {
-    let seeds = scale.seeds();
-    let workloads: Vec<(usize, Ior)> = PROCESS_COUNTS
-        .iter()
-        .map(|&n| (n, Ior::shared_read(n, scale.fig11_total)))
-        .collect();
-    let cases: Vec<(String, CaseSpec)> = workloads
-        .iter()
-        .map(|(n, w)| {
-            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 8 }, w);
-            spec.layout = LayoutPolicy::DefaultStripe;
-            spec.clients = *n;
-            (format!("np={n}"), spec)
-        })
-        .collect();
-    let points = SweepExec::from_env().run(&cases, &seeds);
-    CcFigure::from_points("Figure 11: CC for IOR on a shared striped file", points)
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_cc()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::common::assert_cc_expectations;
 
     #[test]
     fn throughput_metrics_correct_arpt_wrong() {
         let fig = run(&Scale::tiny());
-        for m in ["IOPS", "BW", "BPS"] {
-            assert_eq!(fig.direction_correct(m), Some(true), "{m}: {fig}");
-            assert!(fig.normalized(m).unwrap() > 0.6, "{m}: {fig}");
-        }
-        assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
+        assert_cc_expectations(&fig, &scenario().expect);
     }
 
     #[test]

@@ -9,11 +9,12 @@
 //! represent I/O system performance."
 
 use crate::figures::common::CcFigure;
-use crate::runner::{CaseSpec, LayoutPolicy, Storage};
 use crate::scale::Scale;
-use crate::sweep::SweepExec;
-use bps_middleware::sieving::SievingConfig;
-use bps_workloads::hpio::Hpio;
+use crate::scenario::engine;
+use crate::scenario::spec::{
+    CaseDecl, CaseTemplate, Expect, Grid, Num, OutputSpec, Patch, ScaleKnob, Scenario, StorageSpec,
+    WorkloadTemplate,
+};
 
 /// The region spacings swept (bytes of hole between 256-byte regions).
 pub const SPACINGS: [u64; 5] = [8, 64, 256, 1024, 4096];
@@ -21,49 +22,72 @@ pub const SPACINGS: [u64; 5] = [8, 64, 256, 1024, 4096];
 /// MPI processes issuing the noncontiguous reads.
 pub const PROCESSES: usize = 4;
 
-/// Build the HPIO workload for one spacing at a given scale.
-pub fn workload(scale: &Scale, spacing: u64) -> Hpio {
-    let mut w = Hpio::paper_shape(scale.fig12_regions, spacing, PROCESSES);
-    // Keep roughly 40 noncontiguous calls per sweep point at any scale,
-    // matching the paper's regions-per-call at full scale.
-    w.regions_per_call = (scale.fig12_regions / 40).clamp(256, 4096);
-    w
+/// The sweep as data. The regions-per-call expression keeps roughly 40
+/// noncontiguous calls per sweep point at any scale, matching the paper's
+/// regions-per-call at full scale.
+pub fn scenario() -> Scenario {
+    Scenario {
+        name: "fig12".to_string(),
+        title: "Figure 12: CC with data sieving (additional data movement)".to_string(),
+        output: OutputSpec::Cc,
+        base: CaseTemplate::new(
+            StorageSpec::Pvfs { servers: 4 },
+            WorkloadTemplate::Hpio {
+                region_count: Num::Knob {
+                    knob: ScaleKnob::Fig12Regions,
+                },
+                region_size: 256,
+                region_spacing: Num::Abs { n: SPACINGS[0] },
+                regions_per_call: Num::KnobScaled {
+                    knob: ScaleKnob::Fig12Regions,
+                    div: 40,
+                    min: 256,
+                    max: 4096,
+                },
+                processes: PROCESSES,
+                collective: false,
+            },
+        ),
+        grid: Grid::single(
+            SPACINGS
+                .iter()
+                .map(|&spacing| {
+                    CaseDecl::new(
+                        format!("gap={spacing}B"),
+                        Patch {
+                            region_spacing: Some(spacing),
+                            ..Patch::none()
+                        },
+                    )
+                })
+                .collect(),
+        ),
+        expect: vec![
+            Expect::correct("IOPS", 0.7),
+            Expect::correct("ARPT", 0.7),
+            Expect::correct("BPS", 0.7),
+            Expect::wrong("BW"),
+        ],
+        verdict: None,
+    }
 }
 
 /// Run the sweep and score the metrics.
 pub fn run(scale: &Scale) -> CcFigure {
-    let seeds = scale.seeds();
-    let workloads: Vec<Hpio> = SPACINGS.iter().map(|&s| workload(scale, s)).collect();
-    let cases: Vec<(String, CaseSpec)> = SPACINGS
-        .iter()
-        .zip(&workloads)
-        .map(|(&spacing, w)| {
-            let mut spec = CaseSpec::new(Storage::Pvfs { servers: 4 }, w);
-            spec.layout = LayoutPolicy::DefaultStripe;
-            spec.clients = PROCESSES;
-            spec.sieving = SievingConfig::romio_default();
-            (format!("gap={spacing}B"), spec)
-        })
-        .collect();
-    let points = SweepExec::from_env().run(&cases, &seeds);
-    CcFigure::from_points(
-        "Figure 12: CC with data sieving (additional data movement)",
-        points,
-    )
+    engine::run(&scenario(), scale)
+        .expect("bundled scenario is valid")
+        .into_cc()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::common::assert_cc_expectations;
 
     #[test]
     fn bw_wrong_direction_others_correct() {
         let fig = run(&Scale::tiny());
-        for m in ["IOPS", "ARPT", "BPS"] {
-            assert_eq!(fig.direction_correct(m), Some(true), "{m}: {fig}");
-            assert!(fig.normalized(m).unwrap() > 0.7, "{m}: {fig}");
-        }
-        assert_eq!(fig.direction_correct("BW"), Some(false), "{fig}");
+        assert_cc_expectations(&fig, &scenario().expect);
     }
 
     #[test]

@@ -8,70 +8,67 @@
 //! application.
 
 use crate::figures::common::CcFigure;
-use crate::figures::fig05::RECORD_SIZES;
-use crate::runner::{CaseSpec, Storage};
+use crate::figures::fig05::{record_size_scenario, size_sweep_expect};
 use crate::scale::Scale;
-use crate::sweep::SweepExec;
-use bps_workloads::iozone::{Iozone, IozoneMode};
+use crate::scenario::engine;
+use crate::scenario::spec::{OutputSpec, Scenario, StorageSpec};
+use bps_workloads::iozone::IozoneMode;
 
-fn label_of(rs: u64) -> String {
-    if rs >= 1 << 20 {
-        format!("{}MB", rs >> 20)
-    } else {
-        format!("{}KB", rs >> 10)
-    }
+fn write_scenario(name: &str, storage: StorageSpec, device: &str) -> Scenario {
+    record_size_scenario(
+        name,
+        &format!("Extension: CC across I/O sizes, sequential WRITES ({device})"),
+        storage,
+        IozoneMode::SeqWrite,
+        OutputSpec::Cc,
+        size_sweep_expect(None),
+    )
+}
+
+/// The HDD write sweep as data.
+pub fn scenario_hdd() -> Scenario {
+    write_scenario("writes-hdd", StorageSpec::Hdd, "HDD")
+}
+
+/// The SSD write sweep as data.
+pub fn scenario_ssd() -> Scenario {
+    write_scenario("writes-ssd", StorageSpec::Ssd, "SSD")
 }
 
 /// Run the write sweep on one device.
-pub fn run_on(storage: Storage, scale: &Scale) -> CcFigure {
-    let seeds = scale.seeds();
-    let workloads: Vec<Iozone> = RECORD_SIZES
-        .iter()
-        .map(|&rs| Iozone {
-            mode: IozoneMode::SeqWrite,
-            file_size: scale.fig5_file,
-            record_size: rs,
-            processes: 1,
-            seed: 0,
-        })
-        .collect();
-    let cases: Vec<(String, CaseSpec)> = workloads
-        .iter()
-        .map(|w| (label_of(w.record_size), CaseSpec::new(storage, w)))
-        .collect();
-    let points = SweepExec::from_env().run(&cases, &seeds);
-    let name = match storage {
-        Storage::Hdd => "HDD",
-        Storage::Ssd => "SSD",
-        Storage::Pvfs { .. } => "PVFS",
+pub fn run_on(storage: StorageSpec, scale: &Scale) -> CcFigure {
+    let sc = match storage {
+        StorageSpec::Hdd => scenario_hdd(),
+        StorageSpec::Ssd => scenario_ssd(),
+        StorageSpec::Pvfs { .. } => panic!("the write extension sweeps local devices only"),
     };
-    CcFigure::from_points(
-        format!("Extension: CC across I/O sizes, sequential WRITES ({name})"),
-        points,
-    )
+    engine::run(&sc, scale)
+        .expect("bundled scenario is valid")
+        .into_cc()
 }
 
 /// Both device sweeps.
 pub fn report(scale: &Scale) -> String {
     format!(
         "{}\n{}",
-        run_on(Storage::Hdd, scale),
-        run_on(Storage::Ssd, scale)
+        run_on(StorageSpec::Hdd, scale),
+        run_on(StorageSpec::Ssd, scale)
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::figures::common::assert_cc_expectations;
 
     #[test]
     fn write_sweep_same_verdicts_as_reads() {
-        for storage in [Storage::Hdd, Storage::Ssd] {
+        for (storage, sc) in [
+            (StorageSpec::Hdd, scenario_hdd()),
+            (StorageSpec::Ssd, scenario_ssd()),
+        ] {
             let fig = run_on(storage, &Scale::tiny());
-            assert_eq!(fig.direction_correct("IOPS"), Some(false), "{fig}");
-            assert_eq!(fig.direction_correct("ARPT"), Some(false), "{fig}");
-            assert_eq!(fig.direction_correct("BW"), Some(true), "{fig}");
-            assert_eq!(fig.direction_correct("BPS"), Some(true), "{fig}");
+            assert_cc_expectations(&fig, &sc.expect);
         }
     }
 
@@ -80,7 +77,7 @@ mod tests {
         // The SSD's program latency exceeds its read latency; sanity-check
         // the asymmetry survives the full stack.
         let scale = Scale::tiny();
-        let writes = run_on(Storage::Ssd, &scale);
+        let writes = run_on(StorageSpec::Ssd, &scale);
         let reads = crate::figures::fig06::run(&scale);
         let w4k = writes.cases[0].exec_s;
         let r4k = reads.cases[0].exec_s;

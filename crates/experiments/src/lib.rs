@@ -22,6 +22,7 @@ pub mod export;
 pub mod figures;
 pub mod runner;
 pub mod scale;
+pub mod scenario;
 pub mod sweep;
 
 pub use runner::{run_case, run_case_streaming, CasePoint, CaseSpec, LayoutPolicy, Storage};

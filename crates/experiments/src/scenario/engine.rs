@@ -1,0 +1,791 @@
+//! Expanding and running a [`Scenario`].
+//!
+//! The pipeline is the same for every experiment, bundled or
+//! user-authored:
+//!
+//! 1. [`expand`] — cross the case grid, merge each cell's patches onto
+//!    the base template, and resolve every [`Num`](super::spec::Num)
+//!    against the scale preset. The result is a list of pure-data
+//!    [`ResolvedCase`]s: deterministic, thread-count-independent, and
+//!    checkable without running anything.
+//! 2. [`run`] (or [`run_with`] with an explicit executor) — build the
+//!    workloads, fan `cases × seeds` through
+//!    [`SweepExec`](crate::sweep::SweepExec), and score the points into a
+//!    [`ScenarioOutput`].
+//! 3. [`violations`] — compare a scored CC figure against the scenario's
+//!    Table-1 expectations and verdict.
+
+use super::spec::{
+    DeviceErrorSpec, Expect, FaultSpec, LayoutSpec, OutputSpec, Patch, RetrySpec, Scenario,
+    SievingSpec, StorageSpec, Verdict, WorkloadTemplate,
+};
+use crate::figures::common::{CcFigure, DetailSeries};
+use crate::figures::faults::DegradedMix;
+use crate::runner::{CaseSpec, LayoutPolicy, Storage};
+use crate::scale::Scale;
+use crate::sweep::SweepExec;
+use bps_core::time::{Dur, Nanos};
+use bps_middleware::sieving::SievingConfig;
+use bps_middleware::stack::RetryPolicy;
+use bps_sim::fault::{FaultPlan, Outage, SlowdownWindow};
+use bps_workloads::spec::Workload;
+use bps_workloads::WorkloadSpec;
+use std::fmt;
+use std::path::Path;
+
+/// Error expanding or running a scenario: an invalid grid, a patch that
+/// does not apply to the base workload, an unbuildable workload spec, or
+/// an unreadable scenario file.
+#[derive(Debug)]
+pub struct EngineError(String);
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+fn err(msg: impl fmt::Display) -> EngineError {
+    EngineError(msg.to_string())
+}
+
+/// The workload of a fully expanded case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedWorkload {
+    /// A concrete generator description.
+    Spec(WorkloadSpec),
+    /// The Set 5 degraded-mode mix (sized from the scale at build time).
+    DegradedMix,
+}
+
+/// One fully expanded case: every knob concrete, no scale references
+/// left. Pure data — expansion never runs the simulator, so `reproduce
+/// check` can validate a scenario file without paying for a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedCase {
+    /// The case label ("hdd", "64KB", "np=4/gap=8B", ...).
+    pub label: String,
+    /// Storage under test.
+    pub storage: StorageSpec,
+    /// Layout policy.
+    pub layout: LayoutSpec,
+    /// Sieving configuration.
+    pub sieving: SievingSpec,
+    /// Retry policy.
+    pub retry: RetrySpec,
+    /// Fault plan; `None` = healthy cluster.
+    pub fault: Option<FaultSpec>,
+    /// Per-op CPU cost, microseconds.
+    pub cpu_per_op_us: u64,
+    /// Client node count; `None` = one per workload process.
+    pub clients: Option<usize>,
+    /// The workload.
+    pub workload: ResolvedWorkload,
+}
+
+/// Apply one grid patch to a workload template. Workload-shaping fields
+/// (`record_size`, `processes`, `region_spacing`) only apply to templates
+/// that have them; patching anything else is an error, so a typo'd
+/// scenario file fails loudly instead of silently running the base case.
+fn patch_workload(
+    base: &WorkloadTemplate,
+    patch: &Patch,
+    label: &str,
+) -> Result<WorkloadTemplate, EngineError> {
+    use super::spec::Num;
+    let mut w = base.clone();
+    let inapplicable = |field: &str, template: &str| {
+        Err(err(format!(
+            "case `{label}`: patch field `{field}` does not apply to the {template} workload \
+             template"
+        )))
+    };
+    if let Some(rs) = patch.record_size {
+        match &mut w {
+            WorkloadTemplate::Iozone { record_size, .. } => *record_size = Num::Abs { n: rs },
+            WorkloadTemplate::Fixed { .. } => return inapplicable("record_size", "Fixed"),
+            WorkloadTemplate::IorShared { .. } => return inapplicable("record_size", "IorShared"),
+            WorkloadTemplate::Hpio { .. } => return inapplicable("record_size", "Hpio"),
+            WorkloadTemplate::DegradedMix => return inapplicable("record_size", "DegradedMix"),
+        }
+    }
+    if let Some(gap) = patch.region_spacing {
+        match &mut w {
+            WorkloadTemplate::Hpio { region_spacing, .. } => *region_spacing = Num::Abs { n: gap },
+            WorkloadTemplate::Fixed { .. } => return inapplicable("region_spacing", "Fixed"),
+            WorkloadTemplate::Iozone { .. } => return inapplicable("region_spacing", "Iozone"),
+            WorkloadTemplate::IorShared { .. } => {
+                return inapplicable("region_spacing", "IorShared")
+            }
+            WorkloadTemplate::DegradedMix => return inapplicable("region_spacing", "DegradedMix"),
+        }
+    }
+    if let Some(np) = patch.processes {
+        match &mut w {
+            WorkloadTemplate::Iozone { processes, .. }
+            | WorkloadTemplate::IorShared { processes, .. }
+            | WorkloadTemplate::Hpio { processes, .. } => *processes = np,
+            WorkloadTemplate::Fixed { .. } => return inapplicable("processes", "Fixed"),
+            WorkloadTemplate::DegradedMix => return inapplicable("processes", "DegradedMix"),
+        }
+    }
+    Ok(w)
+}
+
+/// Resolve a patched template's `Num` expressions into a concrete
+/// workload description.
+fn resolve_workload(w: &WorkloadTemplate, scale: &Scale) -> ResolvedWorkload {
+    match w.clone() {
+        WorkloadTemplate::Fixed { spec } => ResolvedWorkload::Spec(spec),
+        WorkloadTemplate::Iozone {
+            mode,
+            file_size,
+            record_size,
+            processes,
+            seed,
+        } => ResolvedWorkload::Spec(WorkloadSpec::Iozone {
+            mode,
+            file_size: file_size.resolve(scale, processes),
+            record_size: record_size.resolve(scale, processes),
+            processes,
+            seed,
+        }),
+        WorkloadTemplate::IorShared {
+            file_size,
+            transfer_size,
+            write,
+            processes,
+        } => ResolvedWorkload::Spec(WorkloadSpec::Ior {
+            file_size: file_size.resolve(scale, processes),
+            transfer_size,
+            processes,
+            write,
+        }),
+        WorkloadTemplate::Hpio {
+            region_count,
+            region_size,
+            region_spacing,
+            regions_per_call,
+            processes,
+            collective,
+        } => ResolvedWorkload::Spec(WorkloadSpec::Hpio {
+            region_count: region_count.resolve(scale, processes),
+            region_size,
+            region_spacing: region_spacing.resolve(scale, processes),
+            regions_per_call: regions_per_call.resolve(scale, processes),
+            processes,
+            collective,
+        }),
+        WorkloadTemplate::DegradedMix => ResolvedWorkload::DegradedMix,
+    }
+}
+
+/// Expand a scenario's case grid against a scale preset.
+///
+/// The grid is the cross product of its dimensions, row-major (later
+/// dimensions vary fastest); labels join with `/`; later dimensions'
+/// patches override earlier ones on conflicting fields. The output is
+/// identical at any `BPS_THREADS` setting — expansion is single-threaded
+/// pure data flow.
+pub fn expand(scenario: &Scenario, scale: &Scale) -> Result<Vec<ResolvedCase>, EngineError> {
+    if scenario.grid.dims.is_empty() {
+        return Err(err(format!(
+            "scenario `{}`: grid has no dimensions",
+            scenario.name
+        )));
+    }
+    if let OutputSpec::Detail { metric } = &scenario.output {
+        if !["IOPS", "BW", "ARPT", "BPS"].contains(&metric.as_str()) {
+            return Err(err(format!(
+                "scenario `{}`: unknown detail metric `{metric}` (expected IOPS, BW, ARPT or BPS)",
+                scenario.name
+            )));
+        }
+    }
+    // Cross the dimensions into (label, patches-in-dimension-order).
+    let mut combos: Vec<(String, Vec<&Patch>)> = vec![(String::new(), Vec::new())];
+    for (d, dim) in scenario.grid.dims.iter().enumerate() {
+        if dim.is_empty() {
+            return Err(err(format!(
+                "scenario `{}`: grid dimension {d} is empty",
+                scenario.name
+            )));
+        }
+        let mut next = Vec::with_capacity(combos.len() * dim.len());
+        for (label, patches) in &combos {
+            for cell in dim {
+                let label = if label.is_empty() {
+                    cell.label.clone()
+                } else {
+                    format!("{label}/{}", cell.label)
+                };
+                let mut patches = patches.clone();
+                patches.push(&cell.patch);
+                next.push((label, patches));
+            }
+        }
+        combos = next;
+    }
+    let base = &scenario.base;
+    let mut cases = Vec::with_capacity(combos.len());
+    for (label, patches) in combos {
+        let mut storage = base.storage;
+        let mut layout = base.layout.unwrap_or(LayoutSpec::DefaultStripe);
+        let mut fault = base.fault.clone();
+        let mut workload = base.workload.clone();
+        for patch in patches {
+            if let Some(s) = patch.storage {
+                storage = s;
+            }
+            if let Some(l) = patch.layout {
+                layout = l;
+            }
+            if let Some(f) = &patch.fault {
+                fault = Some(f.clone());
+            }
+            workload = patch_workload(&workload, patch, &label)?;
+        }
+        let workload = resolve_workload(&workload, scale);
+        if let ResolvedWorkload::Spec(spec) = &workload {
+            // Surface invalid specs at expansion time; `build` re-checks.
+            spec.build()
+                .map_err(|e| err(format!("case `{label}`: {e}")))?;
+        }
+        cases.push(ResolvedCase {
+            label,
+            storage,
+            layout,
+            sieving: base.sieving.unwrap_or(SievingSpec::RomioDefault),
+            retry: base.retry.unwrap_or(RetrySpec::Default),
+            fault,
+            cpu_per_op_us: base.cpu_per_op_us.unwrap_or(5),
+            clients: base.clients,
+            workload,
+        });
+    }
+    Ok(cases)
+}
+
+/// Build a concrete [`FaultPlan`] from its declarative form, applying the
+/// pieces in field order (slowdowns, device errors, link loss, outage
+/// trains) exactly as the hand-built plans chained their builders.
+pub fn build_fault(spec: &FaultSpec) -> FaultPlan {
+    let mut plan = FaultPlan {
+        seed: spec.seed,
+        ..FaultPlan::none()
+    };
+    for s in &spec.slowdowns {
+        plan = plan.with_slowdown(SlowdownWindow {
+            server: s.server,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(1 << 20),
+            factor: s.factor,
+        });
+    }
+    for d in &spec.device_errors {
+        plan = match *d {
+            DeviceErrorSpec::Uniform { rate } => plan.with_device_errors(rate),
+            DeviceErrorSpec::Server { server, rate } => plan.with_device_errors_on(server, rate),
+        };
+    }
+    if let Some(ll) = &spec.link_loss {
+        plan = plan.with_link_loss(ll.rate, Dur::from_millis(ll.retransmit_delay_ms));
+    }
+    for t in &spec.outage_trains {
+        for cycle in 0..t.cycles {
+            let start = 10 + t.period_ms * cycle + t.phase_ms;
+            plan = plan.with_outage(Outage {
+                server: t.server,
+                start: Nanos::from_millis(start),
+                end: Nanos::from_millis(start + t.width_ms),
+            });
+        }
+    }
+    plan
+}
+
+fn build_workload(w: &ResolvedWorkload, scale: &Scale) -> Result<Box<dyn Workload>, EngineError> {
+    match w {
+        ResolvedWorkload::Spec(spec) => spec.build().map_err(err),
+        ResolvedWorkload::DegradedMix => Ok(Box::new(DegradedMix::from_scale(scale))),
+    }
+}
+
+/// The scored result of a scenario run.
+#[derive(Debug, Clone)]
+pub enum ScenarioOutput {
+    /// A CC bar chart (the scenario's `output` was [`OutputSpec::Cc`]).
+    Cc(CcFigure),
+    /// A detail series ([`OutputSpec::Detail`]).
+    Detail(DetailSeries),
+}
+
+impl ScenarioOutput {
+    /// The CC figure, if this output is one.
+    pub fn as_cc(&self) -> Option<&CcFigure> {
+        match self {
+            ScenarioOutput::Cc(fig) => Some(fig),
+            ScenarioOutput::Detail(_) => None,
+        }
+    }
+
+    /// The detail series, if this output is one.
+    pub fn as_detail(&self) -> Option<&DetailSeries> {
+        match self {
+            ScenarioOutput::Cc(_) => None,
+            ScenarioOutput::Detail(s) => Some(s),
+        }
+    }
+
+    /// The CC figure, panicking on a detail output (for callers that know
+    /// the scenario's output kind statically — the bundled figures).
+    pub fn into_cc(self) -> CcFigure {
+        match self {
+            ScenarioOutput::Cc(fig) => fig,
+            ScenarioOutput::Detail(s) => panic!("scenario produced a detail series: {}", s.label),
+        }
+    }
+
+    /// The detail series, panicking on a CC output.
+    pub fn into_detail(self) -> DetailSeries {
+        match self {
+            ScenarioOutput::Detail(s) => s,
+            ScenarioOutput::Cc(fig) => panic!("scenario produced a CC figure: {}", fig.label),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioOutput::Cc(fig) => fig.fmt(f),
+            ScenarioOutput::Detail(s) => s.fmt(f),
+        }
+    }
+}
+
+/// Expand, run and score a scenario with the environment's executor
+/// (`BPS_THREADS`).
+pub fn run(scenario: &Scenario, scale: &Scale) -> Result<ScenarioOutput, EngineError> {
+    run_with(scenario, scale, SweepExec::from_env())
+}
+
+/// [`run`] with an explicit executor — the output is byte-identical at
+/// any thread count.
+pub fn run_with(
+    scenario: &Scenario,
+    scale: &Scale,
+    exec: SweepExec,
+) -> Result<ScenarioOutput, EngineError> {
+    let resolved = expand(scenario, scale)?;
+    let workloads: Vec<Box<dyn Workload>> = resolved
+        .iter()
+        .map(|c| build_workload(&c.workload, scale))
+        .collect::<Result<_, _>>()?;
+    let cases: Vec<(String, CaseSpec)> = resolved
+        .iter()
+        .zip(&workloads)
+        .map(|(c, w)| {
+            let storage = match c.storage {
+                StorageSpec::Hdd => Storage::Hdd,
+                StorageSpec::Ssd => Storage::Ssd,
+                StorageSpec::Pvfs { servers } => Storage::Pvfs { servers },
+            };
+            let mut spec = CaseSpec::new(storage, w.as_ref());
+            spec.layout = match c.layout {
+                LayoutSpec::DefaultStripe => LayoutPolicy::DefaultStripe,
+                LayoutSpec::PinnedPerFile => LayoutPolicy::PinnedPerFile,
+            };
+            spec.sieving = match c.sieving {
+                SievingSpec::RomioDefault => SievingConfig::romio_default(),
+                SievingSpec::Disabled => SievingConfig::disabled(),
+            };
+            spec.retry = match c.retry {
+                RetrySpec::Default => RetryPolicy::default(),
+                RetrySpec::Custom {
+                    max_attempts,
+                    base_backoff_us,
+                    max_backoff_us,
+                } => RetryPolicy {
+                    max_attempts,
+                    base_backoff: Dur::from_micros(base_backoff_us),
+                    max_backoff: Dur::from_micros(max_backoff_us),
+                    timeout: None,
+                },
+            };
+            spec.cpu_per_op = Dur::from_micros(c.cpu_per_op_us);
+            if let Some(f) = &c.fault {
+                spec.fault = build_fault(f);
+            }
+            if let Some(clients) = c.clients {
+                spec.clients = clients;
+            }
+            (c.label.clone(), spec)
+        })
+        .collect();
+    let points = exec.run(&cases, &scale.seeds());
+    Ok(match &scenario.output {
+        OutputSpec::Cc => ScenarioOutput::Cc(CcFigure::from_points(scenario.title.clone(), points)),
+        OutputSpec::Detail { metric } => ScenarioOutput::Detail(DetailSeries::from_points(
+            scenario.title.clone(),
+            metric,
+            &points,
+        )),
+    })
+}
+
+/// Check a scored output against the scenario's expectations and verdict;
+/// returns one line per violation (empty = everything holds).
+pub fn violations(
+    output: &ScenarioOutput,
+    expect: &[Expect],
+    verdict: Option<Verdict>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let fig = match output {
+        ScenarioOutput::Cc(fig) => fig,
+        ScenarioOutput::Detail(_) => {
+            if !expect.is_empty() || verdict.is_some() {
+                out.push("detail output has no CC rows to check expectations against".to_string());
+            }
+            return out;
+        }
+    };
+    for e in expect {
+        match fig.direction_correct(&e.metric) {
+            None => out.push(format!("{}: CC undefined (expected a verdict)", e.metric)),
+            Some(correct) => {
+                if correct != e.direction_correct {
+                    out.push(format!(
+                        "{}: direction {} (expected {})",
+                        e.metric,
+                        if correct { "correct" } else { "WRONG" },
+                        if e.direction_correct {
+                            "correct"
+                        } else {
+                            "WRONG"
+                        }
+                    ));
+                }
+                if let Some(floor) = e.min_normalized {
+                    let cc = fig.normalized(&e.metric).unwrap_or(f64::NAN);
+                    if cc.is_nan() || cc < floor {
+                        out.push(format!(
+                            "{}: normalized CC {cc:.3} below floor {floor:.3}",
+                            e.metric
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(Verdict::BpsStrictlyHighest) = verdict {
+        if !crate::figures::faults::bps_strictly_best(fig) {
+            out.push("BPS does not have the strictly highest |CC|".to_string());
+        }
+    }
+    out
+}
+
+/// Parse a scenario from JSON text.
+pub fn load_str(json: &str) -> Result<Scenario, EngineError> {
+    serde_json::from_str(json).map_err(|e| err(format!("invalid scenario JSON: {e}")))
+}
+
+/// Load a scenario from a JSON file.
+pub fn load_path(path: &Path) -> Result<Scenario, EngineError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
+    load_str(&text).map_err(|e| err(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::spec::{CaseDecl, CaseTemplate, Grid, Num, ScaleKnob};
+    use super::*;
+    use bps_workloads::iozone::IozoneMode;
+
+    fn iozone_template() -> WorkloadTemplate {
+        WorkloadTemplate::Iozone {
+            mode: IozoneMode::SeqRead,
+            file_size: Num::Knob {
+                knob: ScaleKnob::Fig5File,
+            },
+            record_size: Num::Abs { n: 1 << 20 },
+            processes: 1,
+            seed: 0,
+        }
+    }
+
+    fn cc_scenario(grid: Grid) -> Scenario {
+        Scenario {
+            name: "test".into(),
+            title: "Test sweep".into(),
+            output: OutputSpec::Cc,
+            base: CaseTemplate::new(StorageSpec::Hdd, iozone_template()),
+            grid,
+            expect: Vec::new(),
+            verdict: None,
+        }
+    }
+
+    #[test]
+    fn grid_cross_product_is_row_major_with_joined_labels() {
+        let grid = Grid {
+            dims: vec![
+                vec![
+                    CaseDecl::new("a", Patch::none()),
+                    CaseDecl::new("b", Patch::none()),
+                ],
+                vec![
+                    CaseDecl::new(
+                        "r4k",
+                        Patch {
+                            record_size: Some(4 << 10),
+                            ..Patch::none()
+                        },
+                    ),
+                    CaseDecl::new(
+                        "r64k",
+                        Patch {
+                            record_size: Some(64 << 10),
+                            ..Patch::none()
+                        },
+                    ),
+                ],
+            ],
+        };
+        let cases = expand(&cc_scenario(grid), &Scale::tiny()).unwrap();
+        let labels: Vec<&str> = cases.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["a/r4k", "a/r64k", "b/r4k", "b/r64k"]);
+        match &cases[1].workload {
+            ResolvedWorkload::Spec(WorkloadSpec::Iozone { record_size, .. }) => {
+                assert_eq!(*record_size, 64 << 10)
+            }
+            other => panic!("unexpected workload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn later_dimension_overrides_earlier_patch() {
+        let grid = Grid {
+            dims: vec![
+                vec![CaseDecl::new(
+                    "ssd",
+                    Patch {
+                        storage: Some(StorageSpec::Ssd),
+                        ..Patch::none()
+                    },
+                )],
+                vec![CaseDecl::new(
+                    "pvfs",
+                    Patch {
+                        storage: Some(StorageSpec::Pvfs { servers: 4 }),
+                        ..Patch::none()
+                    },
+                )],
+            ],
+        };
+        let cases = expand(&cc_scenario(grid), &Scale::tiny()).unwrap();
+        assert_eq!(cases[0].storage, StorageSpec::Pvfs { servers: 4 });
+    }
+
+    #[test]
+    fn inapplicable_patch_is_a_labelled_error() {
+        let grid = Grid::single(vec![CaseDecl::new(
+            "bad-gap",
+            Patch {
+                region_spacing: Some(64),
+                ..Patch::none()
+            },
+        )]);
+        let e = expand(&cc_scenario(grid), &Scale::tiny())
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("bad-gap"), "{e}");
+        assert!(e.contains("region_spacing"), "{e}");
+        assert!(e.contains("Iozone"), "{e}");
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let e = expand(&cc_scenario(Grid { dims: Vec::new() }), &Scale::tiny())
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("no dimensions"), "{e}");
+        let e = expand(
+            &cc_scenario(Grid {
+                dims: vec![Vec::new()],
+            }),
+            &Scale::tiny(),
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(e.contains("empty"), "{e}");
+    }
+
+    #[test]
+    fn invalid_workload_surfaces_at_expansion() {
+        let grid = Grid::single(vec![CaseDecl::new(
+            "zero-rec",
+            Patch {
+                record_size: Some(0),
+                ..Patch::none()
+            },
+        )]);
+        let e = expand(&cc_scenario(grid), &Scale::tiny())
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("zero-rec"), "{e}");
+        assert!(e.contains("record_size"), "{e}");
+    }
+
+    #[test]
+    fn unknown_detail_metric_rejected() {
+        let mut sc = cc_scenario(Grid::single(vec![CaseDecl::new("a", Patch::none())]));
+        sc.output = OutputSpec::Detail {
+            metric: "QPS".into(),
+        };
+        let e = expand(&sc, &Scale::tiny()).unwrap_err().to_string();
+        assert!(e.contains("QPS"), "{e}");
+    }
+
+    #[test]
+    fn fault_spec_builds_the_hand_built_plan() {
+        use super::super::spec::{LinkLossSpec, OutageTrainSpec, SlowdownSpec};
+        // Mirror of the faults.rs "two-x2.0" straggler shape.
+        let mut spec = FaultSpec::seeded(0x5E7_5000);
+        spec.slowdowns = vec![
+            SlowdownSpec {
+                server: 0,
+                factor: 2.0,
+            },
+            SlowdownSpec {
+                server: 1,
+                factor: 2.0,
+            },
+        ];
+        let plan = build_fault(&spec);
+        let slow = |server: usize, factor: f64| SlowdownWindow {
+            server,
+            start: Nanos::ZERO,
+            end: Nanos::from_secs(1 << 20),
+            factor,
+        };
+        let hand = FaultPlan {
+            seed: 0x5E7_5000,
+            ..FaultPlan::none()
+        }
+        .with_slowdown(slow(0, 2.0))
+        .with_slowdown(slow(1, 2.0));
+        assert_eq!(format!("{plan:?}"), format!("{hand:?}"));
+
+        // Link loss + an outage train.
+        let mut spec = FaultSpec::seeded(1);
+        spec.link_loss = Some(LinkLossSpec {
+            rate: 0.04,
+            retransmit_delay_ms: 8,
+        });
+        spec.outage_trains = vec![OutageTrainSpec {
+            server: 1,
+            width_ms: 8,
+            period_ms: 64,
+            phase_ms: 40,
+            cycles: 3,
+        }];
+        let plan = build_fault(&spec);
+        let mut hand = FaultPlan {
+            seed: 1,
+            ..FaultPlan::none()
+        }
+        .with_link_loss(0.04, Dur::from_millis(8));
+        for cycle in 0..3u64 {
+            let start = 10 + 64 * cycle + 40;
+            hand = hand.with_outage(Outage {
+                server: 1,
+                start: Nanos::from_millis(start),
+                end: Nanos::from_millis(start + 8),
+            });
+        }
+        assert_eq!(format!("{plan:?}"), format!("{hand:?}"));
+    }
+
+    #[test]
+    fn run_with_is_thread_count_invariant() {
+        let grid = Grid::single(vec![
+            CaseDecl::new(
+                "r256k",
+                Patch {
+                    record_size: Some(256 << 10),
+                    ..Patch::none()
+                },
+            ),
+            CaseDecl::new(
+                "r1m",
+                Patch {
+                    record_size: Some(1 << 20),
+                    ..Patch::none()
+                },
+            ),
+        ]);
+        let sc = cc_scenario(grid);
+        let scale = Scale::tiny();
+        let seq = run_with(&sc, &scale, SweepExec::new(1)).unwrap().into_cc();
+        let par = run_with(&sc, &scale, SweepExec::new(4)).unwrap().into_cc();
+        assert_eq!(format!("{seq}"), format!("{par}"));
+        for (a, b) in seq.cases.iter().zip(&par.cases) {
+            assert_eq!(a.exec_s.to_bits(), b.exec_s.to_bits());
+            assert_eq!(a.bps.to_bits(), b.bps.to_bits());
+        }
+    }
+
+    #[test]
+    fn violations_flag_direction_floor_and_verdict() {
+        use crate::runner::CasePoint;
+        // IOPS rises with execution time: wrong direction.
+        let cases: Vec<CasePoint> = (1..=5u32)
+            .map(|k| {
+                let t = k as f64;
+                CasePoint {
+                    label: format!("c{k}"),
+                    iops: 100.0 * t,
+                    bw: 50.0 / t,
+                    arpt: 0.001 * t,
+                    bps: 6400.0 / t,
+                    exec_s: t,
+                }
+            })
+            .collect();
+        let out = ScenarioOutput::Cc(CcFigure::from_points("v", cases));
+        let v = violations(
+            &out,
+            &[Expect::correct("IOPS", 0.5), Expect::correct("BPS", 0.99)],
+            Some(Verdict::BpsStrictlyHighest),
+        );
+        assert!(
+            v.iter().any(|s| s.contains("IOPS") && s.contains("WRONG")),
+            "{v:?}"
+        );
+        // BPS is correct but its CC (~0.90) sits under the 0.99 floor.
+        assert!(
+            v.iter().any(|s| s.contains("BPS") && s.contains("floor")),
+            "{v:?}"
+        );
+        // ARPT is perfectly linear in exec time here, so BPS is not strictly best.
+        assert!(v.iter().any(|s| s.contains("strictly highest")), "{v:?}");
+        let ok = violations(
+            &out,
+            &[Expect::wrong("IOPS"), Expect::correct("BPS", 0.9)],
+            None,
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn load_str_reports_bad_json() {
+        let e = load_str("{not json").unwrap_err().to_string();
+        assert!(e.contains("invalid scenario JSON"), "{e}");
+    }
+}

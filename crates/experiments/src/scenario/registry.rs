@@ -1,0 +1,92 @@
+//! The bundled scenarios, by name.
+//!
+//! Every CC/detail sweep of the evaluation is registered here so
+//! `reproduce list` can enumerate them and `reproduce run <name>` can run
+//! any of them through the same engine a user-authored JSON scenario
+//! uses. (Targets with no sweep behind them — the tables, Figures 1–3,
+//! the overhead benchmark — stay plain code in the binary.)
+
+use super::spec::Scenario;
+use crate::figures::{
+    faults, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, writes,
+};
+
+/// Every bundled scenario, in the reproduction's target order.
+pub fn all() -> Vec<Scenario> {
+    let mut v = vec![
+        fig04::scenario(),
+        fig05::scenario(),
+        fig06::scenario(),
+        fig07::scenario(),
+        fig08::scenario(),
+        fig09::scenario(),
+        fig10::scenario(),
+        fig11::scenario(),
+        fig12::scenario(),
+        writes::scenario_hdd(),
+        writes::scenario_ssd(),
+    ];
+    v.extend(faults::FaultKind::all().into_iter().map(|k| k.scenario()));
+    v
+}
+
+/// The registered names, in listing order.
+pub fn names() -> Vec<String> {
+    all().into_iter().map(|s| s.name).collect()
+}
+
+/// Look a bundled scenario up by name.
+pub fn find(name: &str) -> Option<Scenario> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use crate::scenario::engine;
+
+    #[test]
+    fn names_are_unique_and_stable() {
+        let names = names();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate names in {names:?}");
+        for expected in [
+            "fig4",
+            "fig12",
+            "writes-hdd",
+            "writes-ssd",
+            "faults-straggler",
+            "faults-outage",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn every_bundled_scenario_expands() {
+        for sc in all() {
+            let cases = engine::expand(&sc, &Scale::tiny())
+                .unwrap_or_else(|e| panic!("{} does not expand: {e}", sc.name));
+            assert!(!cases.is_empty(), "{} expands to nothing", sc.name);
+        }
+    }
+
+    #[test]
+    fn every_bundled_scenario_round_trips_through_json() {
+        for sc in all() {
+            let json = serde_json::to_string(&sc).unwrap();
+            let back: Scenario = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, sc, "round-trip of {}", sc.name);
+        }
+    }
+
+    #[test]
+    fn find_is_by_exact_name() {
+        assert_eq!(find("fig9").unwrap().name, "fig9");
+        assert!(find("fig99").is_none());
+        assert!(find("FIG9").is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Golden tests for the `reproduce` binary.
+//!
+//! Every deterministic target's `--tiny` report is pinned byte-for-byte
+//! against `tests/golden/<target>.txt` (captured from the binary itself),
+//! so a refactor of the experiment stack cannot silently change a single
+//! character of any reproduction. The `overhead` target contains
+//! wall-clock timings and is pinned structurally instead.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden(name: &str) -> String {
+    let path = golden_dir().join(format!("{name}.txt"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .env("BPS_THREADS", "1")
+        .output()
+        .expect("spawn reproduce")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = reproduce(args);
+    assert!(
+        out.status.success(),
+        "reproduce {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+/// The 18 targets whose `--tiny` output is fully deterministic.
+const DETERMINISTIC: [&str; 18] = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "summary",
+    "extensions",
+    "writes",
+    "faults",
+];
+
+#[test]
+fn every_deterministic_target_matches_its_golden() {
+    for target in DETERMINISTIC {
+        assert_eq!(
+            stdout_of(&[target, "--tiny"]),
+            golden(target),
+            "{target} --tiny drifted from tests/golden/{target}.txt"
+        );
+    }
+}
+
+#[test]
+fn overhead_report_is_structurally_stable() {
+    // Wall-clock numbers vary; everything else (header, record accounting,
+    // row labels) must not.
+    let is_timing_row = |line: &str| {
+        line.starts_with(' ')
+            && line
+                .split_whitespace()
+                .all(|w| w.chars().all(|c| c.is_ascii_digit() || c == '.'))
+            && !line.trim().is_empty()
+    };
+    let strip = |text: &str| {
+        text.lines()
+            .filter(|l| !is_timing_row(l))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip(&stdout_of(&["overhead", "--tiny"])),
+        strip(&golden("overhead"))
+    );
+}
+
+#[test]
+fn list_matches_its_golden() {
+    assert_eq!(stdout_of(&["list"]), golden("list"));
+}
+
+#[test]
+fn list_filter_narrows_the_listing() {
+    let out = stdout_of(&["list", "faults"]);
+    assert_eq!(out.lines().count(), 4);
+    assert!(out.lines().all(|l| l.starts_with("faults-")), "{out}");
+}
+
+#[test]
+fn unknown_target_names_itself_and_the_valid_set() {
+    let out = reproduce(&["figg5", "--tiny"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown target: figg5"), "{err}");
+    assert!(err.contains("valid targets: all, table1, table2"), "{err}");
+    assert!(err.contains("fig12"), "{err}");
+    assert!(err.contains("reproduce list"), "{err}");
+}
+
+#[test]
+fn run_of_a_bundled_scenario_matches_the_target_report() {
+    // `reproduce run fig9` goes name -> registry -> engine; `reproduce fig9`
+    // goes through the figure module. Same bytes either way.
+    assert_eq!(stdout_of(&["run", "fig9", "--tiny"]), golden("fig9"));
+}
+
+#[test]
+fn json_scenario_runs_without_recompiling() {
+    // Serialize a bundled scenario, write it to disk, and feed the file to
+    // the binary: the report must be byte-identical to the compiled-in
+    // target. This is the engine's whole point — experiments are data.
+    let sc = bps_experiments::scenario::registry::find("fig11").unwrap();
+    let dir = std::env::temp_dir().join("bps_cli_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig11.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&sc).unwrap()).unwrap();
+    assert_eq!(
+        stdout_of(&["run", path.to_str().unwrap(), "--tiny"]),
+        golden("fig11")
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bundled_example_scenario_matches_its_golden() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let example = repo_root.join("examples/scenarios/device-shootout.json");
+    assert_eq!(
+        stdout_of(&["run", example.to_str().unwrap(), "--tiny"]),
+        golden("device-shootout")
+    );
+}
+
+#[test]
+fn check_reports_name_and_case_count() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let example = repo_root.join("examples/scenarios/slow-server.json");
+    let out = stdout_of(&["check", example.to_str().unwrap()]);
+    assert_eq!(out, "ok: slow-server (4 cases at quick scale)\n");
+}
+
+#[test]
+fn check_rejects_malformed_json_with_the_path_named() {
+    let dir = std::env::temp_dir().join("bps_cli_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.json");
+    std::fs::write(&path, "{not json").unwrap();
+    let out = reproduce(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("broken.json"), "{err}");
+    assert!(err.contains("invalid scenario JSON"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn run_of_unknown_name_suggests_list() {
+    let out = reproduce(&["run", "not-a-scenario"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not-a-scenario"), "{err}");
+    assert!(err.contains("reproduce list"), "{err}");
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    let out = reproduce(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -16,6 +16,10 @@
 //! * [`replay`] — turn a recorded trace back into op streams, so real
 //!   applications can be replayed against simulated configurations.
 //!
+//! Every generator also has a serializable description in
+//! [`workload_spec::WorkloadSpec`], so scenario files can name any
+//! workload as data and build it at run time.
+//!
 //! Streams are lazy iterators so a 16 GB / 4 KB-record run does not
 //! materialize four million ops up front.
 
@@ -28,5 +32,7 @@ pub mod iozone;
 pub mod replay;
 pub mod spec;
 pub mod synthetic;
+pub mod workload_spec;
 
 pub use spec::{AppOp, OpStream, Workload};
+pub use workload_spec::WorkloadSpec;

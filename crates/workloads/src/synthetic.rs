@@ -11,13 +11,16 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// Access-pattern flavor.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Pattern {
     /// Uniformly random record positions.
     Uniform,
     /// Zipf-distributed record positions with the given exponent (> 0);
     /// small exponents are near-uniform, large ones hammer a few records.
-    Zipf(f64),
+    Zipf {
+        /// Skew exponent (> 0).
+        exponent: f64,
+    },
 }
 
 /// A synthetic mixed read/write workload.
@@ -88,7 +91,7 @@ impl Workload for Synthetic {
         let records = (self.file_size / self.record_size).max(1);
         let mut rng = SmallRng::seed_from_u64(self.seed ^ ((pid as u64) << 40) ^ 0xABCD);
         let zipf = match self.pattern {
-            Pattern::Zipf(s) => Some(ZipfSampler::new(records, s)),
+            Pattern::Zipf { exponent } => Some(ZipfSampler::new(records, exponent)),
             Pattern::Uniform => None,
         };
         let rec = self.record_size;
@@ -185,7 +188,7 @@ mod tests {
     #[test]
     fn zipf_is_skewed() {
         let mut w = Synthetic::uniform_read(1 << 22, 4096, 2000, 5);
-        w.pattern = Pattern::Zipf(1.2);
+        w.pattern = Pattern::Zipf { exponent: 1.2 };
         let mut counts = std::collections::HashMap::new();
         for op in w.stream(0) {
             if let AppOp::Read { extent, .. } = op {

@@ -1,0 +1,26 @@
+//! Print a bundled scenario as JSON — the starting point for authoring a
+//! custom one:
+//!
+//! ```text
+//! cargo run --example scenario_to_json fig9 > my_sweep.json
+//! $EDITOR my_sweep.json        # rename it, change the grid...
+//! cargo run --release --bin reproduce -- run my_sweep.json --tiny
+//! ```
+
+use bps::experiments::scenario::registry;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fig5".to_string());
+    match registry::find(&name) {
+        Some(sc) => println!("{}", serde_json::to_string_pretty(&sc).unwrap()),
+        None => {
+            eprintln!("no bundled scenario named `{name}`; one of:");
+            for n in registry::names() {
+                eprintln!("  {n}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

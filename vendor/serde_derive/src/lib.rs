@@ -8,21 +8,30 @@
 //! * single-field tuple structs (always treated as
 //!   `#[serde(transparent)]`, which is how every one in the workspace is
 //!   marked) → the inner value,
-//! * enums with unit variants only → the variant name as a string.
+//! * enums of unit and/or named-field variants, externally tagged like
+//!   real serde: a unit variant is the variant name as a string, a
+//!   struct variant is `{"Variant": {fields…}}`.
 //!
-//! Anything else (generics, data-carrying enum variants, multi-field tuple
+//! Anything else (generics, tuple enum variants, multi-field tuple
 //! structs) fails loudly at expansion time rather than generating wrong
 //! code.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum VariantShape {
+    /// `Variant` — serialized as the bare variant name.
+    Unit,
+    /// `Variant { a, b }` — serialized as `{"Variant": {"a": …, "b": …}}`.
+    Named(Vec<String>),
+}
 
 enum Shape {
     /// Named-field struct; field names in declaration order.
     Named(Vec<String>),
     /// Single-field tuple struct (serialized transparently).
     Newtype,
-    /// Enum of unit variants; variant names in declaration order.
-    UnitEnum(Vec<String>),
+    /// Enum; variant names (with shapes) in declaration order.
+    Enum(Vec<(String, VariantShape)>),
 }
 
 struct Item {
@@ -156,16 +165,36 @@ fn parse_item(input: TokenStream, derive: &str) -> Item {
                 .map(|v| {
                     let rest = strip_attrs_and_vis(&v);
                     match rest {
-                        [TokenTree::Ident(id)] => id.to_string(),
+                        [TokenTree::Ident(id)] => (id.to_string(), VariantShape::Unit),
+                        [TokenTree::Ident(id), TokenTree::Group(g)]
+                            if g.delimiter() == Delimiter::Brace =>
+                        {
+                            let variant = id.to_string();
+                            let fields = split_commas(g.stream())
+                                .into_iter()
+                                .map(|f| {
+                                    let rest = strip_attrs_and_vis(&f);
+                                    match rest.first() {
+                                        Some(TokenTree::Ident(id)) => id.to_string(),
+                                        other => panic!(
+                                            "derive({derive}) on `{name}::{variant}`: \
+                                             expected field name, found {other:?}"
+                                        ),
+                                    }
+                                })
+                                .collect();
+                            (variant, VariantShape::Named(fields))
+                        }
                         _ => panic!(
-                            "derive({derive}) on `{name}`: only unit enum variants are supported"
+                            "derive({derive}) on `{name}`: only unit and named-field \
+                             enum variants are supported"
                         ),
                     }
                 })
                 .collect();
             Item {
                 name,
-                shape: Shape::UnitEnum(variants),
+                shape: Shape::Enum(variants),
             }
         }
         other => panic!("derive({derive}): unsupported item kind `{other}`"),
@@ -186,10 +215,29 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             format!("::serde::Value::Object(vec![{}])", pairs.join(" "))
         }
         Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
-        Shape::UnitEnum(variants) => {
+        Shape::Enum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => {
+                        format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{v}\".to_string(), \
+                                  ::serde::Value::Object(vec![{}]))]),",
+                            pairs.join(" ")
+                        )
+                    }
+                })
                 .collect();
             format!("match self {{ {} }}", arms.join(" "))
         }
@@ -217,22 +265,65 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             format!("Ok({name} {{ {} }})", inits.join(" "))
         }
         Shape::Newtype => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
-        Shape::UnitEnum(variants) => {
-            let arms: Vec<String> = variants
+        Shape::Enum(variants) => {
+            // Externally tagged: a unit variant arrives as a bare string,
+            // a named-field variant as a single-key object keyed by the
+            // variant name. Mis-shaped input for a known variant gets a
+            // specific message rather than the generic "unknown variant".
+            let str_arms: Vec<String> = variants
                 .iter()
-                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!("\"{v}\" => Ok({name}::{v}),"),
+                    VariantShape::Named(_) => format!(
+                        "\"{v}\" => Err(::serde::Error(format!(\n\
+                             \"{name} variant `{v}` carries fields; \
+                              expected an object {{{{\\\"{v}\\\": {{{{..}}}}}}}}\"))),"
+                    ),
+                })
+                .collect();
+            let obj_arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "\"{v}\" => Err(::serde::Error(format!(\n\
+                             \"{name} variant `{v}` is a unit variant; \
+                              expected the bare string \\\"{v}\\\"\"))),"
+                    ),
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                         inner.field(\"{f}\")?)?,"
+                                )
+                            })
+                            .collect();
+                        format!("\"{v}\" => Ok({name}::{v} {{ {} }}),", inits.join(" "))
+                    }
+                })
                 .collect();
             format!(
                 "match v {{\n\
                      ::serde::Value::Str(s) => match s.as_str() {{\n\
-                         {}\n\
+                         {str_arms}\n\
                          other => Err(::serde::Error(format!(\n\
                              \"unknown {name} variant `{{other}}`\"))),\n\
                      }},\n\
+                     ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, inner) = &pairs[0];\n\
+                         match tag.as_str() {{\n\
+                             {obj_arms}\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
                      other => Err(::serde::Error(format!(\n\
-                         \"expected string for {name}, found {{}}\", other.kind()))),\n\
+                         \"expected a variant string or single-key object for {name}, \
+                          found {{}}\", other.kind()))),\n\
                  }}",
-                arms.join(" ")
+                str_arms = str_arms.join(" "),
+                obj_arms = obj_arms.join(" "),
             )
         }
     };
