@@ -27,6 +27,19 @@ fn bench_streaming_fold(c: &mut Criterion) {
             (m.bps(), m.iops(), m.bandwidth(), m.arpt())
         })
     });
+    // Same stream, ingested in producer-sized batches: the per-wake
+    // emission path. Records are pre-materialized so the measurement is
+    // pure ingestion, comparable against `fold_stream` minus generation.
+    let records: Vec<_> = synthetic_records(N, 11).collect();
+    g.bench_function("fold_stream_batched", |b| {
+        b.iter(|| {
+            let mut m = StreamingMetrics::new();
+            for chunk in black_box(&records).chunks(256) {
+                m.push_batch(chunk);
+            }
+            (m.bps(), m.iops(), m.bandwidth(), m.arpt())
+        })
+    });
     // Generate + materialize + compute: the pre-streaming pipeline.
     g.bench_function("materialize_then_compute", |b| {
         b.iter(|| {

@@ -38,21 +38,33 @@ pub fn random_intervals(n: usize, seed: u64) -> Vec<Interval> {
 /// A lazy synthetic multi-process application record stream — one record
 /// at a time, nothing materialized, so streaming observers can be fed
 /// arbitrarily long streams in constant space.
+///
+/// Records come out the way the simulation engine emits them: in global
+/// issue order (nondecreasing start times) with durations long relative
+/// to the inter-issue gaps, so the intervals of concurrently running
+/// processes overlap heavily — the arrival shape `OnlineUnion`'s fast
+/// paths and the batch hull fusing are built for.
 pub fn synthetic_records(n: usize, seed: u64) -> impl Iterator<Item = IoRecord> {
     let mut rng = SimRng::seed_from_u64(seed);
-    let mut clocks = [0u64; 4];
+    let mut t = 0u64;
     (0..n).map(move |i| {
         let pid = (i % 4) as u32;
-        let start = clocks[pid as usize] + rng.below(50_000);
+        // Mostly back-to-back issues; roughly one issue in a thousand
+        // follows an idle gap longer than any single access, closing the
+        // current busy period.
+        t += if rng.below(1_000) == 0 {
+            1_000_000 + rng.below(5_000_000)
+        } else {
+            rng.below(50_000)
+        };
         let dur = 10_000 + rng.below(500_000);
-        clocks[pid as usize] = start + dur;
         IoRecord::app_read(
             ProcessId(pid),
             FileId(0),
             i as u64 * 65536,
             4096 + rng.below(1 << 20),
-            Nanos(start),
-            Nanos(start + dur),
+            Nanos(t),
+            Nanos(t + dur),
         )
     })
 }

@@ -311,6 +311,7 @@ impl OnlineUnion {
     }
 
     /// Add one interval, merging it into the maintained union.
+    #[inline]
     pub fn insert(&mut self, iv: Interval) {
         // Fast paths against the rightmost span.
         match self.spans.last_mut() {
@@ -345,6 +346,34 @@ impl OnlineUnion {
         }
         self.total = self.total - displaced + merged.duration();
         self.spans.splice(first..last, std::iter::once(merged));
+    }
+
+    /// Add a batch of intervals, merging them into the maintained union.
+    ///
+    /// Exactly equivalent to calling [`OnlineUnion::insert`] once per
+    /// interval in order — the final spans and total are identical —
+    /// but consecutive intervals that overlap or touch are fused into one
+    /// running hull in registers first, so a batch of mutually overlapping
+    /// requests (the common shape of one simulated wake) touches the span
+    /// vector once instead of once per interval.
+    pub fn insert_all(&mut self, ivs: &[Interval]) {
+        let mut ivs = ivs.iter();
+        let Some(&first) = ivs.next() else { return };
+        // The running hull of a consecutive overlapping run. Fusing
+        // `next` into it is valid exactly when sequential insertion would
+        // have hit a `last`-span fast path: `next.start` inside
+        // `[run.start, run.end]`. Anything else flushes the run and
+        // starts over, so ordering effects are preserved bit-for-bit.
+        let mut run = first;
+        for &iv in ivs {
+            if iv.start >= run.start && iv.start <= run.end {
+                run.end = run.end.max(iv.end);
+            } else {
+                self.insert(run);
+                run = iv;
+            }
+        }
+        self.insert(run);
     }
 
     /// The measure of the union so far.
@@ -541,6 +570,46 @@ mod tests {
         assert_eq!(set.span().unwrap(), iv(0, 42));
         // [0,2) + [10,35) + [40,42) = 2 + 25 + 2 ms.
         assert_eq!(set.total(), Dur::from_millis(29));
+    }
+
+    #[test]
+    fn insert_all_matches_sequential_insert() {
+        let cases: Vec<Vec<Interval>> = vec![
+            vec![],
+            vec![iv(0, 1)],
+            vec![iv(0, 4), iv(1, 5), iv(3, 6), iv(8, 10)], // figure 2
+            vec![iv(8, 10), iv(0, 4), iv(1, 5), iv(3, 6)], // out of order
+            vec![iv(0, 0), iv(0, 0), iv(5, 5)],            // degenerate
+            vec![iv(0, 2), iv(2, 4), iv(4, 6)],            // touching chain
+            vec![iv(5, 9), iv(0, 2), iv(1, 6), iv(20, 21), iv(3, 4)],
+        ];
+        for c in &cases {
+            let mut seq = OnlineUnion::new();
+            for &i in c {
+                seq.insert(i);
+            }
+            let mut batched = OnlineUnion::new();
+            batched.insert_all(c);
+            assert_eq!(seq, batched, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn insert_all_appends_to_existing_union() {
+        let mut seq = OnlineUnion::new();
+        let mut batched = OnlineUnion::new();
+        for u in [&mut seq, &mut batched] {
+            u.insert(iv(0, 3));
+            u.insert(iv(10, 12));
+        }
+        let more = [iv(2, 5), iv(4, 11), iv(30, 31)];
+        for i in more {
+            seq.insert(i);
+        }
+        batched.insert_all(&more);
+        assert_eq!(seq, batched);
+        // [0,3)∪[2,5)∪[4,11)∪[10,12) fuse to [0,12); [30,31) stays apart.
+        assert_eq!(seq.total(), Dur::from_millis(13));
     }
 
     #[test]

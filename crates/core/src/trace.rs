@@ -55,6 +55,12 @@ impl Trace {
         self.records.push(r);
     }
 
+    /// Append a batch of records, preserving their order. One reserve +
+    /// memcpy instead of a push per record.
+    pub fn extend(&mut self, records: &[IoRecord]) {
+        self.records.extend_from_slice(records);
+    }
+
     /// Append all records of another trace (the paper's gather step).
     pub fn merge(&mut self, other: Trace) {
         self.records.extend(other.records);

@@ -124,4 +124,66 @@ proptest! {
         }
         prop_assert_eq!(online.total(), union_time(ivs.iter().copied()));
     }
+
+    /// Batched ingestion is bit-identical to per-record ingestion on the
+    /// same stream, for every way of cutting the stream into batches —
+    /// mixed layers, overlap, and out-of-order completions included.
+    #[test]
+    fn push_batch_equals_per_record(
+        recs in records(),
+        cuts in proptest::collection::vec(1usize..8, 0..24),
+    ) {
+        let mut seq = StreamingMetrics::new();
+        for r in &recs {
+            seq.on_record(r);
+        }
+        let mut bat = StreamingMetrics::new();
+        bat.push_batch(&[]); // empty batches are no-ops
+        let mut rest = &recs[..];
+        let mut cuts = cuts.iter();
+        while !rest.is_empty() {
+            let k = cuts.next().copied().unwrap_or(rest.len()).min(rest.len());
+            let (chunk, tail) = rest.split_at(k);
+            bat.push_batch(chunk);
+            rest = tail;
+        }
+        prop_assert_eq!(bits(seq.bps()), bits(bat.bps()));
+        prop_assert_eq!(bits(seq.iops()), bits(bat.iops()));
+        prop_assert_eq!(bits(seq.bandwidth()), bits(bat.bandwidth()));
+        prop_assert_eq!(bits(seq.arpt()), bits(bat.arpt()));
+        prop_assert_eq!(seq.execution_time(), bat.execution_time());
+        prop_assert_eq!(seq.len(), bat.len());
+        for layer in [Layer::Application, Layer::FileSystem, Layer::Device, Layer::Retry] {
+            prop_assert_eq!(seq.op_count(layer), bat.op_count(layer));
+        }
+        prop_assert_eq!(seq.app_blocks(), bat.app_blocks());
+        prop_assert_eq!(
+            seq.overlapped_io_time(Layer::Application),
+            bat.overlapped_io_time(Layer::Application)
+        );
+        prop_assert_eq!(
+            seq.overlapped_io_time(Layer::FileSystem),
+            bat.overlapped_io_time(Layer::FileSystem)
+        );
+    }
+
+    /// `OnlineUnion::insert_all` is exactly per-interval insertion, under
+    /// arbitrary arrival order.
+    #[test]
+    fn insert_all_equals_insert(ivs in proptest::collection::vec(
+        (0u64..1_000_000, 0u64..100_000), 0..64
+    )) {
+        let ivs: Vec<Interval> = ivs
+            .into_iter()
+            .map(|(s, l)| Interval::new(Nanos(s), Nanos(s + l)))
+            .collect();
+        let mut seq = OnlineUnion::new();
+        for iv in &ivs {
+            seq.insert(*iv);
+        }
+        let mut bat = OnlineUnion::new();
+        bat.insert_all(&ivs);
+        prop_assert_eq!(seq.total(), bat.total());
+        prop_assert_eq!(seq.spans(), bat.spans());
+    }
 }

@@ -45,11 +45,13 @@ const TARGETS: [&str; 19] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce <target>... [--quick|--tiny|--paper] [--csv <dir>]\n\
+        "usage: reproduce <target>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>]\n\
          \x20      reproduce list [filter]\n\
-         \x20      reproduce run <name|path.json>... [--quick|--tiny|--paper] [--csv <dir>]\n\
+         \x20      reproduce run <name|path.json>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>]\n\
          \x20      reproduce check <path.json>...\n\
-         targets: all, {}",
+         targets: all, {}\n\
+         threads: --threads <n> outranks the BPS_THREADS environment variable;\n\
+         \x20        with neither set, the machine's available parallelism is used",
         TARGETS.join(", ")
     );
     std::process::exit(2);
@@ -165,10 +167,21 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut expect_csv_dir = false;
+    let mut expect_threads = false;
     for a in &args {
         if expect_csv_dir {
             csv_dir = Some(PathBuf::from(a));
             expect_csv_dir = false;
+            continue;
+        }
+        if expect_threads {
+            match a.parse::<usize>() {
+                Ok(n) if n > 0 => bps_experiments::sweep::set_thread_override(Some(n)),
+                _ => fail(format_args!(
+                    "--threads wants a positive integer, got `{a}`"
+                )),
+            }
+            expect_threads = false;
             continue;
         }
         match a.as_str() {
@@ -176,11 +189,12 @@ fn main() {
             "--quick" => scale = Scale::quick(),
             "--tiny" => scale = Scale::tiny(),
             "--csv" => expect_csv_dir = true,
+            "--threads" => expect_threads = true,
             other if other.starts_with("--") => usage(),
             other => targets.push(other.to_string()),
         }
     }
-    if expect_csv_dir || targets.is_empty() {
+    if expect_csv_dir || expect_threads || targets.is_empty() {
         usage();
     }
 

@@ -21,7 +21,7 @@ use super::spec::{
 };
 use crate::figures::common::{CcFigure, DetailSeries};
 use crate::figures::faults::DegradedMix;
-use crate::runner::{CaseSpec, LayoutPolicy, Storage};
+use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
 use crate::scale::Scale;
 use crate::sweep::SweepExec;
 use bps_core::time::{Dur, Nanos};
@@ -30,8 +30,11 @@ use bps_middleware::stack::RetryPolicy;
 use bps_sim::fault::{FaultPlan, Outage, SlowdownWindow};
 use bps_workloads::spec::Workload;
 use bps_workloads::WorkloadSpec;
+use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Error expanding or running a scenario: an invalid grid, a patch that
 /// does not apply to the base workload, an unbuildable workload spec, or
@@ -366,6 +369,51 @@ impl fmt::Display for ScenarioOutput {
     }
 }
 
+/// Process-lifetime cache of scored case results, keyed by the full
+/// simulation-relevant content of a resolved case plus the scale preset.
+///
+/// Figures share cases — the common baseline points of fig04/fig05/fig09,
+/// and `reproduce all`'s summary re-running every CC figure — and a
+/// [`ResolvedCase`] (minus its per-figure label) together with the
+/// [`Scale`] determines the simulated runs exactly: the workload build,
+/// cluster construction, and seed list are all pure functions of them. So
+/// a shared case simulates once per process and every later occurrence is
+/// a lookup. Disable with `BPS_MEMO=0` (the golden CI job diffs both
+/// modes).
+fn memo_cache() -> &'static Mutex<HashMap<String, CasePoint>> {
+    static MEMO: OnceLock<Mutex<HashMap<String, CasePoint>>> = OnceLock::new();
+    MEMO.get_or_init(Default::default)
+}
+
+static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether cross-figure memoization is on (default; `BPS_MEMO=0` turns it
+/// off).
+pub fn memo_enabled() -> bool {
+    std::env::var("BPS_MEMO").map(|v| v != "0").unwrap_or(true)
+}
+
+/// Lifetime (hits, misses) counters of the case memo — `misses` counts
+/// cases actually simulated, `hits` cases served from cache.
+pub fn memo_stats() -> (u64, u64) {
+    (
+        MEMO_HITS.load(Ordering::Relaxed),
+        MEMO_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Content key of a case: every field that feeds the simulation, with the
+/// display label — which legitimately differs between figures sharing a
+/// case — stripped out.
+fn case_key(case: &ResolvedCase, scale: &Scale) -> String {
+    let mut c = case.clone();
+    c.label.clear();
+    // Scale is included because DegradedMix workloads and the seed list
+    // are derived from it at run time.
+    format!("{c:?}|{scale:?}")
+}
+
 /// Expand, run and score a scenario with the environment's executor
 /// (`BPS_THREADS`).
 pub fn run(scenario: &Scenario, scale: &Scale) -> Result<ScenarioOutput, EngineError> {
@@ -379,53 +427,108 @@ pub fn run_with(
     scale: &Scale,
     exec: SweepExec,
 ) -> Result<ScenarioOutput, EngineError> {
+    run_with_memo(scenario, scale, exec, memo_enabled())
+}
+
+/// [`run_with`] with explicit memoization control — tests use this to
+/// pin the memo on or off without mutating process environment.
+fn run_with_memo(
+    scenario: &Scenario,
+    scale: &Scale,
+    exec: SweepExec,
+    memo_on: bool,
+) -> Result<ScenarioOutput, EngineError> {
     let resolved = expand(scenario, scale)?;
-    let workloads: Vec<Box<dyn Workload>> = resolved
-        .iter()
-        .map(|c| build_workload(&c.workload, scale))
-        .collect::<Result<_, _>>()?;
-    let cases: Vec<(String, CaseSpec)> = resolved
-        .iter()
-        .zip(&workloads)
-        .map(|(c, w)| {
-            let storage = match c.storage {
-                StorageSpec::Hdd => Storage::Hdd,
-                StorageSpec::Ssd => Storage::Ssd,
-                StorageSpec::Pvfs { servers } => Storage::Pvfs { servers },
-            };
-            let mut spec = CaseSpec::new(storage, w.as_ref());
-            spec.layout = match c.layout {
-                LayoutSpec::DefaultStripe => LayoutPolicy::DefaultStripe,
-                LayoutSpec::PinnedPerFile => LayoutPolicy::PinnedPerFile,
-            };
-            spec.sieving = match c.sieving {
-                SievingSpec::RomioDefault => SievingConfig::romio_default(),
-                SievingSpec::Disabled => SievingConfig::disabled(),
-            };
-            spec.retry = match c.retry {
-                RetrySpec::Default => RetryPolicy::default(),
-                RetrySpec::Custom {
-                    max_attempts,
-                    base_backoff_us,
-                    max_backoff_us,
-                } => RetryPolicy {
-                    max_attempts,
-                    base_backoff: Dur::from_micros(base_backoff_us),
-                    max_backoff: Dur::from_micros(max_backoff_us),
-                    timeout: None,
-                },
-            };
-            spec.cpu_per_op = Dur::from_micros(c.cpu_per_op_us);
-            if let Some(f) = &c.fault {
-                spec.fault = build_fault(f);
+
+    // Serve cases already simulated this process from the memo; only the
+    // rest pay for workload construction and the sweep. The relative order
+    // of the missing cases is their input order, so the simulated results
+    // are bit-identical to an unmemoized run.
+    let mut points: Vec<Option<CasePoint>> = vec![None; resolved.len()];
+    let keys: Vec<String> = if memo_on {
+        let keys: Vec<String> = resolved.iter().map(|c| case_key(c, scale)).collect();
+        let cache = memo_cache().lock().expect("memo cache poisoned");
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(cached) = cache.get(key) {
+                let mut p = cached.clone();
+                p.label = resolved[i].label.clone();
+                points[i] = Some(p);
             }
-            if let Some(clients) = c.clients {
-                spec.clients = clients;
-            }
-            (c.label.clone(), spec)
-        })
+        }
+        keys
+    } else {
+        Vec::new()
+    };
+    let missing: Vec<usize> = (0..resolved.len())
+        .filter(|&i| points[i].is_none())
         .collect();
-    let points = exec.run(&cases, &scale.seeds());
+    if memo_on {
+        MEMO_HITS.fetch_add((resolved.len() - missing.len()) as u64, Ordering::Relaxed);
+        MEMO_MISSES.fetch_add(missing.len() as u64, Ordering::Relaxed);
+    }
+
+    if !missing.is_empty() {
+        let workloads: Vec<Box<dyn Workload>> = missing
+            .iter()
+            .map(|&i| build_workload(&resolved[i].workload, scale))
+            .collect::<Result<_, _>>()?;
+        let cases: Vec<(String, CaseSpec)> = missing
+            .iter()
+            .zip(&workloads)
+            .map(|(&i, w)| {
+                let c = &resolved[i];
+                let storage = match c.storage {
+                    StorageSpec::Hdd => Storage::Hdd,
+                    StorageSpec::Ssd => Storage::Ssd,
+                    StorageSpec::Pvfs { servers } => Storage::Pvfs { servers },
+                };
+                let mut spec = CaseSpec::new(storage, w.as_ref());
+                spec.layout = match c.layout {
+                    LayoutSpec::DefaultStripe => LayoutPolicy::DefaultStripe,
+                    LayoutSpec::PinnedPerFile => LayoutPolicy::PinnedPerFile,
+                };
+                spec.sieving = match c.sieving {
+                    SievingSpec::RomioDefault => SievingConfig::romio_default(),
+                    SievingSpec::Disabled => SievingConfig::disabled(),
+                };
+                spec.retry = match c.retry {
+                    RetrySpec::Default => RetryPolicy::default(),
+                    RetrySpec::Custom {
+                        max_attempts,
+                        base_backoff_us,
+                        max_backoff_us,
+                    } => RetryPolicy {
+                        max_attempts,
+                        base_backoff: Dur::from_micros(base_backoff_us),
+                        max_backoff: Dur::from_micros(max_backoff_us),
+                        timeout: None,
+                    },
+                };
+                spec.cpu_per_op = Dur::from_micros(c.cpu_per_op_us);
+                if let Some(f) = &c.fault {
+                    spec.fault = build_fault(f);
+                }
+                if let Some(clients) = c.clients {
+                    spec.clients = clients;
+                }
+                (c.label.clone(), spec)
+            })
+            .collect();
+        let fresh = exec.run(&cases, &scale.seeds());
+        if memo_on {
+            let mut cache = memo_cache().lock().expect("memo cache poisoned");
+            for (&i, p) in missing.iter().zip(&fresh) {
+                cache.insert(keys[i].clone(), p.clone());
+            }
+        }
+        for (&i, p) in missing.iter().zip(fresh) {
+            points[i] = Some(p);
+        }
+    }
+    let points: Vec<CasePoint> = points
+        .into_iter()
+        .map(|p| p.expect("every case scored"))
+        .collect();
     Ok(match &scenario.output {
         OutputSpec::Cc => ScenarioOutput::Cc(CcFigure::from_points(scenario.title.clone(), points)),
         OutputSpec::Detail { metric } => ScenarioOutput::Detail(DetailSeries::from_points(
@@ -732,12 +835,63 @@ mod tests {
         ]);
         let sc = cc_scenario(grid);
         let scale = Scale::tiny();
-        let seq = run_with(&sc, &scale, SweepExec::new(1)).unwrap().into_cc();
-        let par = run_with(&sc, &scale, SweepExec::new(4)).unwrap().into_cc();
+        // Memo pinned off: the point is to compare two real simulations,
+        // not a simulation against its own cached result.
+        let seq = run_with_memo(&sc, &scale, SweepExec::new(1), false)
+            .unwrap()
+            .into_cc();
+        let par = run_with_memo(&sc, &scale, SweepExec::new(4), false)
+            .unwrap()
+            .into_cc();
         assert_eq!(format!("{seq}"), format!("{par}"));
         for (a, b) in seq.cases.iter().zip(&par.cases) {
             assert_eq!(a.exec_s.to_bits(), b.exec_s.to_bits());
             assert_eq!(a.bps.to_bits(), b.bps.to_bits());
+        }
+    }
+
+    #[test]
+    fn memoized_second_run_returns_cached_points_bitwise() {
+        // A record size no other test sweeps, so this test owns its memo
+        // entries even when the suite runs in one process.
+        let grid = Grid::single(vec![CaseDecl::new(
+            "r768k",
+            Patch {
+                record_size: Some(768 << 10),
+                ..Patch::none()
+            },
+        )]);
+        let sc = cc_scenario(grid);
+        let scale = Scale::tiny();
+        let cold = run_with_memo(&sc, &scale, SweepExec::new(1), true)
+            .unwrap()
+            .into_cc();
+        let (hits_before, _) = memo_stats();
+        let warm = run_with_memo(&sc, &scale, SweepExec::new(1), true)
+            .unwrap()
+            .into_cc();
+        let (hits_after, _) = memo_stats();
+        assert!(
+            hits_after > hits_before,
+            "second run should be served from the memo ({hits_before} -> {hits_after})"
+        );
+        assert_eq!(cold.cases.len(), warm.cases.len());
+        for (a, b) in cold.cases.iter().zip(&warm.cases) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.iops.to_bits(), b.iops.to_bits());
+            assert_eq!(a.bw.to_bits(), b.bw.to_bits());
+            assert_eq!(a.arpt.to_bits(), b.arpt.to_bits());
+            assert_eq!(a.bps.to_bits(), b.bps.to_bits());
+            assert_eq!(a.exec_s.to_bits(), b.exec_s.to_bits());
+        }
+        // A memo-off run of the same scenario still simulates and must
+        // agree bit-for-bit with the cached result.
+        let off = run_with_memo(&sc, &scale, SweepExec::new(1), false)
+            .unwrap()
+            .into_cc();
+        for (a, b) in warm.cases.iter().zip(&off.cases) {
+            assert_eq!(a.bps.to_bits(), b.bps.to_bits());
+            assert_eq!(a.exec_s.to_bits(), b.exec_s.to_bits());
         }
     }
 

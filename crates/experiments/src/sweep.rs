@@ -8,8 +8,10 @@
 //! because each unit is deterministic in `(case, seed)` and the averaging
 //! still happens in seed order on the caller's thread.
 //!
-//! Thread count: the `BPS_THREADS` environment variable if set, otherwise
-//! [`std::thread::available_parallelism`]. `BPS_THREADS=1` runs inline on
+//! Thread count, in precedence order: a process-wide override installed
+//! with [`set_thread_override`] (the `reproduce --threads N` flag), then
+//! the `BPS_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`]. A count of 1 runs inline on
 //! the calling thread.
 
 use crate::runner::{run_case_streaming, CasePoint, CaseSpec};
@@ -63,6 +65,18 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Process-wide thread-count override; 0 means "not set". Installed by
+/// the CLI's `--threads N` flag and read by [`SweepExec::from_env`]
+/// ahead of `BPS_THREADS`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Install a process-wide worker thread count that outranks the
+/// `BPS_THREADS` environment variable in [`SweepExec::from_env`].
+/// `None` clears a previous override.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
 /// A work-stealing executor for embarrassingly parallel sweep units.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepExec {
@@ -77,9 +91,14 @@ impl SweepExec {
         }
     }
 
-    /// Thread count from `BPS_THREADS`, defaulting to the machine's
+    /// Thread count by precedence: the [`set_thread_override`] value
+    /// (CLI `--threads`), then `BPS_THREADS`, then the machine's
     /// available parallelism.
     pub fn from_env() -> Self {
+        let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+        if overridden > 0 {
+            return SweepExec::new(overridden);
+        }
         let threads = std::env::var("BPS_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
@@ -223,6 +242,16 @@ mod tests {
     #[test]
     fn thread_count_floor_is_one() {
         assert_eq!(SweepExec::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn thread_override_outranks_environment() {
+        set_thread_override(Some(3));
+        assert_eq!(SweepExec::from_env().threads(), 3);
+        set_thread_override(None);
+        // Cleared: from_env falls back to BPS_THREADS / machine parallelism,
+        // both of which give at least one worker.
+        assert!(SweepExec::from_env().threads() >= 1);
     }
 
     #[test]

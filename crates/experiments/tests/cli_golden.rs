@@ -70,6 +70,61 @@ fn every_deterministic_target_matches_its_golden() {
 }
 
 #[test]
+fn every_deterministic_target_is_thread_count_invariant() {
+    // `--threads 4` outranks the harness's BPS_THREADS=1 (flag > env >
+    // machine), and a parallel sweep must still produce the golden bytes.
+    for target in DETERMINISTIC {
+        assert_eq!(
+            stdout_of(&[target, "--tiny", "--threads", "4"]),
+            golden(target),
+            "{target} --tiny --threads 4 drifted from tests/golden/{target}.txt"
+        );
+    }
+}
+
+#[test]
+fn memoization_does_not_change_a_single_byte() {
+    // The same multi-target invocation with the cross-figure case memo on
+    // (default) and off must agree byte-for-byte; fig4/fig5/fig9 share
+    // baseline cases, so the memo actually fires here.
+    let targets = ["fig4", "fig5", "fig9", "--tiny"];
+    let on = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(targets)
+        .env("BPS_THREADS", "1")
+        .env("BPS_MEMO", "1")
+        .output()
+        .expect("spawn reproduce");
+    let off = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(targets)
+        .env("BPS_THREADS", "1")
+        .env("BPS_MEMO", "0")
+        .output()
+        .expect("spawn reproduce");
+    assert!(on.status.success() && off.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&on.stdout),
+        String::from_utf8_lossy(&off.stdout),
+        "BPS_MEMO=1 and BPS_MEMO=0 reports differ"
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&on.stdout),
+        format!("{}{}{}", golden("fig4"), golden("fig5"), golden("fig9")),
+        "memoized multi-target run drifted from the goldens"
+    );
+}
+
+#[test]
+fn threads_flag_rejects_garbage() {
+    for bad in [
+        &["fig4", "--tiny", "--threads", "zero"][..],
+        &["fig4", "--tiny", "--threads"][..],
+    ] {
+        let out = reproduce(bad);
+        assert!(!out.status.success(), "reproduce {bad:?} should fail");
+    }
+}
+
+#[test]
 fn overhead_report_is_structurally_stable() {
     // Wall-clock numbers vary; everything else (header, record accounting,
     // row labels) must not.

@@ -149,6 +149,14 @@ pub struct Cluster<S: RecordSink = Trace> {
     /// it as each access completes; experiments read it back at the end of
     /// a run.
     pub sink: S,
+    /// Records completed inside an open batch scope, awaiting one
+    /// [`RecordSink::push_batch`] flush. Empty whenever `batch_depth == 0`.
+    pending: Vec<IoRecord>,
+    /// Nesting depth of open [`Cluster::begin_batch`] scopes. At depth 0
+    /// every record goes straight to the sink, so callers that never open
+    /// a scope (tests poking at `sink` between calls) see records
+    /// immediately, exactly as before.
+    batch_depth: u32,
 }
 
 impl Cluster<Trace> {
@@ -190,7 +198,46 @@ impl<S: RecordSink> Cluster<S> {
             record_device_layer: cfg.record_device_layer,
             fault: FaultInjector::new(&cfg.fault, cfg.seed),
             sink,
+            pending: PENDING_POOL.take(),
+            batch_depth: 0,
         }
+    }
+
+    /// Open a batch scope: records completed until the matching
+    /// [`Cluster::end_batch`] are buffered and delivered to the sink as one
+    /// [`RecordSink::push_batch`] call. Scopes nest; only the outermost
+    /// close flushes, so a striped operation that fans out to per-chunk
+    /// calls still yields a single batch per process wake.
+    pub fn begin_batch(&mut self) {
+        self.batch_depth += 1;
+    }
+
+    /// Close a batch scope, flushing buffered records to the sink when the
+    /// outermost scope closes. Order of delivery is exactly completion
+    /// order, so batched and unbatched runs feed the sink identically.
+    pub fn end_batch(&mut self) {
+        debug_assert!(self.batch_depth > 0, "end_batch without begin_batch");
+        self.batch_depth -= 1;
+        if self.batch_depth == 0 && !self.pending.is_empty() {
+            self.sink.push_batch(&self.pending);
+            self.pending.clear();
+        }
+    }
+
+    /// Route one completed record to the sink: immediately at batch depth
+    /// 0, buffered inside an open batch scope.
+    #[inline]
+    pub fn record(&mut self, record: IoRecord) {
+        if self.batch_depth == 0 {
+            self.sink.on_record(&record);
+        } else {
+            self.pending.push(record);
+        }
+    }
+
+    /// Open batch-scope depth; 0 means records flow straight to the sink.
+    pub fn batch_depth(&self) -> u32 {
+        self.batch_depth
     }
 
     /// Number of I/O servers.
@@ -233,7 +280,7 @@ impl<S: RecordSink> Cluster<S> {
                 .device
                 .submit_scaled(issue, DeviceReq { lba, blocks, op }, slow);
         if self.record_device_layer {
-            self.sink.on_record(&IoRecord::new(
+            self.record(IoRecord::new(
                 pid,
                 op,
                 file,
@@ -328,7 +375,7 @@ impl<S: RecordSink> Cluster<S> {
             slow,
         );
         if self.record_device_layer {
-            self.sink.on_record(&IoRecord::new(
+            self.record(IoRecord::new(
                 pid,
                 op,
                 file,
@@ -366,7 +413,7 @@ impl<S: RecordSink> Cluster<S> {
         let t = self.servers[server].nic_out.transfer(reply_at, inbound);
         let t = self.switch.forward(t, inbound);
         let done = self.clients[client].nic_in.transfer(t, inbound);
-        self.sink.on_record(&IoRecord::new(
+        self.record(IoRecord::new(
             pid,
             op,
             file,
@@ -393,7 +440,7 @@ impl<S: RecordSink> Cluster<S> {
         start: Nanos,
         end: Nanos,
     ) {
-        self.sink.on_record(&IoRecord::new(
+        self.record(IoRecord::new(
             pid,
             op,
             file,
@@ -431,7 +478,7 @@ impl<S: RecordSink> Cluster<S> {
         start: Nanos,
         end: Nanos,
     ) {
-        self.sink.on_record(&IoRecord::new(
+        self.record(IoRecord::new(
             pid,
             op,
             file,
@@ -446,6 +493,22 @@ impl<S: RecordSink> Cluster<S> {
     /// Device utilization counters of server `s` (tests, reports).
     pub fn device_stats(&self, server: usize) -> &bps_sim::resource::ResourceStats {
         self.servers[server].device.stats()
+    }
+}
+
+thread_local! {
+    /// Per-thread recycling pool for the batch buffer: a sweep thread
+    /// builds thousands of short-lived clusters, and the buffer's capacity
+    /// survives from one case to the next instead of being reallocated.
+    static PENDING_POOL: std::cell::Cell<Vec<IoRecord>> =
+        const { std::cell::Cell::new(Vec::new()) };
+}
+
+impl<S: RecordSink> Drop for Cluster<S> {
+    fn drop(&mut self) {
+        let mut buf = std::mem::take(&mut self.pending);
+        buf.clear();
+        PENDING_POOL.set(buf);
     }
 }
 

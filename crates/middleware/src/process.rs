@@ -112,19 +112,15 @@ impl AppProcess {
         self
     }
 
-    /// Override the start time (staggered arrivals).
-    pub fn starting_at(mut self, start: Nanos) -> Self {
-        self.start = start;
-        self
-    }
-}
-
-impl<S: RecordSink> Process<IoStack<S>> for AppProcess {
-    fn start_time(&self) -> Nanos {
-        self.start
-    }
-
-    fn wake(&mut self, now: Nanos, stack: &mut IoStack<S>, waker: &mut Waker) -> Wake {
+    /// One wake's worth of work; the public [`Process::wake`] wraps this in
+    /// a batch scope so every record the wake completes reaches the sink as
+    /// one [`RecordSink::push_batch`] call.
+    fn dispatch<S: RecordSink>(
+        &mut self,
+        now: Nanos,
+        stack: &mut IoStack<S>,
+        waker: &mut Waker,
+    ) -> Wake {
         if self.pending.is_some() {
             return self.step_noncontig(now, stack);
         }
@@ -189,6 +185,28 @@ impl<S: RecordSink> Process<IoStack<S>> for AppProcess {
                 }
             }
         }
+    }
+
+    /// Override the start time (staggered arrivals).
+    pub fn starting_at(mut self, start: Nanos) -> Self {
+        self.start = start;
+        self
+    }
+}
+
+impl<S: RecordSink> Process<IoStack<S>> for AppProcess {
+    fn start_time(&self) -> Nanos {
+        self.start
+    }
+
+    fn wake(&mut self, now: Nanos, stack: &mut IoStack<S>, waker: &mut Waker) -> Wake {
+        // Per-wake batching: everything this wake completes — covering
+        // reads, retries, device records, the application record — is
+        // delivered to the sink as one batch when the scope closes.
+        stack.cluster.begin_batch();
+        let wake = self.dispatch(now, stack, waker);
+        stack.cluster.end_batch();
+        wake
     }
 }
 

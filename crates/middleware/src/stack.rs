@@ -164,7 +164,7 @@ impl<S: RecordSink> IoStack<S> {
         start: Nanos,
         end: Nanos,
     ) {
-        self.cluster.sink.on_record(&IoRecord::new(
+        self.cluster.record(IoRecord::new(
             pid,
             op,
             file,
@@ -258,6 +258,9 @@ impl<S: RecordSink> IoStack<S> {
         extent: Extent,
         now: Nanos,
     ) -> Result<Nanos, IoError> {
+        // One batch scope per call: the issued FS/device/retry records and
+        // the application record reach the sink as a single batch.
+        self.cluster.begin_batch();
         let result = match self.prefetch {
             Some(cfg) => {
                 let file_size = self.backend.file_size(file);
@@ -271,7 +274,7 @@ impl<S: RecordSink> IoStack<S> {
             }
             None => self.issue(pid, client, file, extent, IoOp::Read, now),
         };
-        match result {
+        let out = match result {
             Ok(done) => {
                 self.record_app(pid, file, extent.offset, extent.len, IoOp::Read, now, done);
                 Ok(done)
@@ -280,7 +283,9 @@ impl<S: RecordSink> IoStack<S> {
                 self.abandoned_ops += 1;
                 Err(e)
             }
-        }
+        };
+        self.cluster.end_batch();
+        out
     }
 
     /// POSIX-style contiguous write. Returns the completion instant, or
@@ -293,7 +298,8 @@ impl<S: RecordSink> IoStack<S> {
         extent: Extent,
         now: Nanos,
     ) -> Result<Nanos, IoError> {
-        match self.issue(pid, client, file, extent, IoOp::Write, now) {
+        self.cluster.begin_batch();
+        let out = match self.issue(pid, client, file, extent, IoOp::Write, now) {
             Ok(done) => {
                 self.record_app(pid, file, extent.offset, extent.len, IoOp::Write, now, done);
                 Ok(done)
@@ -302,7 +308,9 @@ impl<S: RecordSink> IoStack<S> {
                 self.abandoned_ops += 1;
                 Err(e)
             }
-        }
+        };
+        self.cluster.end_batch();
+        out
     }
 
     /// Plan a noncontiguous read under this stack's sieving configuration.
@@ -357,12 +365,14 @@ impl<S: RecordSink> IoStack<S> {
         now: Nanos,
     ) -> Result<Nanos, IoError> {
         let plan = plan_read(regions, &self.sieving);
+        self.cluster.begin_batch();
         let mut t = now;
         for fs_read in &plan.fs_reads {
             t = match self.issue(pid, client, file, *fs_read, IoOp::Read, t) {
                 Ok(done) => done,
                 Err(e) => {
                     self.abandoned_ops += 1;
+                    self.cluster.end_batch();
                     return Err(e);
                 }
             };
@@ -373,6 +383,7 @@ impl<S: RecordSink> IoStack<S> {
         }
         let first_offset = regions.first().map(|r| r.offset).unwrap_or(0);
         self.record_app(pid, file, first_offset, plan.required, IoOp::Read, now, t);
+        self.cluster.end_batch();
         Ok(t)
     }
 
@@ -383,6 +394,11 @@ impl<S: RecordSink> IoStack<S> {
     where
         S: Default,
     {
+        debug_assert_eq!(
+            self.cluster.batch_depth(),
+            0,
+            "finish inside an open batch scope would lose buffered records"
+        );
         self.cluster.sink.on_execution_time(exec_time);
         std::mem::take(&mut self.cluster.sink)
     }

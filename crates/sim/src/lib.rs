@@ -35,6 +35,7 @@ pub mod cache;
 pub mod device;
 pub mod engine;
 pub mod fault;
+pub mod heap;
 pub mod net;
 pub mod resource;
 pub mod rng;

@@ -232,6 +232,19 @@ mod tests {
         assert_eq!(ResourceStats::default().utilization(Dur::ZERO), 0.0);
     }
 
+    /// A zero-length window yields 0.0 utilization even with accumulated
+    /// busy time — not a NaN or infinity from the division.
+    #[test]
+    fn zero_window_utilization_is_zero_even_when_busy() {
+        let mut r = FifoResource::new();
+        r.acquire(ms(0), dms(5));
+        let stats = r.stats();
+        assert!(stats.busy > Dur::ZERO);
+        let u = stats.utilization(Dur::ZERO);
+        assert_eq!(u, 0.0);
+        assert!(u.is_finite());
+    }
+
     #[test]
     fn multichannel_parallelism() {
         let mut m = MultiChannel::new(2);
