@@ -63,7 +63,10 @@ pub mod prelude {
     pub use crate::correlation::{normalized_cc, pearson, CcOutcome};
     pub use crate::extent::Extent;
     pub use crate::interval::{union_time, Interval, IntervalSet, OnlineUnion};
-    pub use crate::metrics::{Arpt, Bandwidth, Bps, Direction, Iops, Metric};
+    pub use crate::metrics::{
+        paper_metrics, registry, Arpt, Bandwidth, Bps, Direction, FoldNeeds, Iops, Metric,
+        MetricFold, MetricRegistry, MetricSelection, UnknownMetric,
+    };
     pub use crate::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
     pub use crate::report::MetricsSummary;
     pub use crate::sink::{RecordSink, StreamingMetrics};

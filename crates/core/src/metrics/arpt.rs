@@ -1,8 +1,8 @@
 //! ARPT — Average ResPonse Time (paper §II).
 
-use super::{Direction, Metric};
+use super::{Direction, MetricFold};
 use crate::record::Layer;
-use crate::trace::Trace;
+use crate::sink::StreamingMetrics;
 
 /// The arithmetic mean of all application I/O request response times, in
 /// seconds.
@@ -16,7 +16,7 @@ use crate::trace::Trace;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Arpt;
 
-impl Metric for Arpt {
+impl MetricFold for Arpt {
     fn name(&self) -> &'static str {
         "ARPT"
     }
@@ -25,26 +25,43 @@ impl Metric for Arpt {
         Direction::Positive
     }
 
-    fn compute(&self, trace: &Trace) -> Option<f64> {
-        let ops = trace.op_count(Layer::Application);
+    fn finish(&self, acc: &StreamingMetrics) -> Option<f64> {
+        let ops = acc.op_count(Layer::Application);
         if ops == 0 {
             return None;
         }
-        let summed = trace.summed_io_time(Layer::Application);
+        let summed = acc.summed_io_time(Layer::Application);
         Some(summed.as_secs_f64() / ops as f64)
     }
 
     fn unit(&self) -> &'static str {
         "s"
     }
+
+    fn describe(&self) -> &'static str {
+        "mean application request response time"
+    }
+
+    fn col_label(&self) -> &'static str {
+        "ARPT(s)"
+    }
+
+    fn col_precision(&self) -> usize {
+        6
+    }
+
+    fn csv_label(&self) -> &'static str {
+        "arpt_s"
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::Bps;
+    use crate::metrics::{Bps, Metric};
     use crate::record::{FileId, IoRecord, ProcessId};
     use crate::time::Nanos;
+    use crate::trace::Trace;
 
     fn read(pid: u32, s_ms: u64, e_ms: u64) -> IoRecord {
         IoRecord::app_read(

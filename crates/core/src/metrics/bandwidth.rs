@@ -1,8 +1,8 @@
 //! Bandwidth — data rate through the file system (paper §II).
 
-use super::{Direction, Metric};
+use super::{Direction, MetricFold};
 use crate::record::Layer;
-use crate::trace::Trace;
+use crate::sink::StreamingMetrics;
 
 /// Bytes *actually moved* through the file system, divided by the overlapped
 /// I/O time at that layer, in MB/s (1 MB = 10^6 bytes).
@@ -22,7 +22,27 @@ pub struct Bandwidth;
 /// Bytes per megabyte for bandwidth reporting.
 const MB: f64 = 1e6;
 
-impl Metric for Bandwidth {
+impl Bandwidth {
+    /// The layer bandwidth measures: the file system when it was
+    /// instrumented, otherwise the application layer.
+    ///
+    /// **Fallback invariant**: when a stream carries no file-system-layer
+    /// records, bandwidth measures the *same* bytes over the *same*
+    /// overlapped time as BPS, so for 512-byte-aligned requests (where
+    /// `bytes == blocks × 512` exactly) `BW × 10^6 == BPS × 512` up to the
+    /// MB rescaling's rounding — the fallback degrades bandwidth into a
+    /// rescaled BPS rather than silently reporting 0 MB/s for
+    /// un-instrumented traces.
+    pub fn measurement_layer(acc: &StreamingMetrics) -> Layer {
+        if acc.op_count(Layer::FileSystem) > 0 {
+            Layer::FileSystem
+        } else {
+            Layer::Application
+        }
+    }
+}
+
+impl MetricFold for Bandwidth {
     fn name(&self) -> &'static str {
         "BW"
     }
@@ -31,15 +51,11 @@ impl Metric for Bandwidth {
         Direction::Negative
     }
 
-    fn compute(&self, trace: &Trace) -> Option<f64> {
-        let layer = if trace.op_count(Layer::FileSystem) > 0 {
-            Layer::FileSystem
-        } else {
-            Layer::Application
-        };
-        let bytes = trace.bytes(layer);
-        let t = trace.overlapped_io_time(layer);
-        if trace.op_count(layer) == 0 || t.is_zero() {
+    fn finish(&self, acc: &StreamingMetrics) -> Option<f64> {
+        let layer = Bandwidth::measurement_layer(acc);
+        let bytes = acc.bytes(layer);
+        let t = acc.overlapped_io_time(layer);
+        if acc.op_count(layer) == 0 || t.is_zero() {
             return None;
         }
         Some(bytes as f64 / MB / t.as_secs_f64())
@@ -48,14 +64,32 @@ impl Metric for Bandwidth {
     fn unit(&self) -> &'static str {
         "MB/s"
     }
+
+    fn describe(&self) -> &'static str {
+        "bytes moved by the file system / overlapped FS I/O time"
+    }
+
+    fn col_label(&self) -> &'static str {
+        "BW(MB/s)"
+    }
+
+    fn col_precision(&self) -> usize {
+        2
+    }
+
+    fn csv_label(&self) -> &'static str {
+        "bw_mbs"
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::Bps;
+    use crate::metrics::{Bps, Metric};
     use crate::record::{FileId, IoOp, IoRecord, ProcessId};
+    use crate::sink::RecordSink;
     use crate::time::Nanos;
+    use crate::trace::Trace;
 
     fn rec(layer: Layer, bytes: u64, s_ms: u64, e_ms: u64) -> IoRecord {
         IoRecord::new(
@@ -108,6 +142,32 @@ mod tests {
         let t = Trace::from_records(vec![rec(Layer::Application, 2_000_000, 0, 10)]);
         let bw = Bandwidth.compute(&t).unwrap();
         assert!((bw - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fallback_layer_choice_is_explicit() {
+        let mut acc = StreamingMetrics::new();
+        acc.on_record(&rec(Layer::Application, 2_000_000, 0, 10));
+        assert_eq!(Bandwidth::measurement_layer(&acc), Layer::Application);
+        acc.on_record(&rec(Layer::FileSystem, 2_000_000, 0, 10));
+        assert_eq!(Bandwidth::measurement_layer(&acc), Layer::FileSystem);
+    }
+
+    #[test]
+    fn fallback_equals_bps_times_block_size() {
+        // The documented invariant: with no FS records and 512-aligned
+        // requests, BW × 10^6 == BPS × 512 — both divide the same integer
+        // byte/block sums by the same overlapped time (they differ only by
+        // the MB rescaling, so agreement is to the last couple of ulps).
+        let t = Trace::from_records(vec![
+            rec(Layer::Application, 512 * 1000, 0, 10),
+            rec(Layer::Application, 512 * 4096, 7, 23),
+            rec(Layer::Application, 512 * 17, 40, 41),
+        ]);
+        let bw = Bandwidth.compute(&t).unwrap();
+        let bps = Bps.compute(&t).unwrap();
+        let (a, b) = (bw * 1e6, bps * 512.0);
+        assert!((a - b).abs() <= 1e-12 * a.abs(), "{a} vs {b}");
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! BPS — Blocks Per Second, the paper's contribution (equation (1)).
 
-use super::{Direction, Metric};
+use super::{Direction, MetricFold};
 use crate::record::Layer;
-use crate::trace::Trace;
+use crate::sink::StreamingMetrics;
 
 /// `BPS = B / T` where `B` is the number of 512-byte blocks *required by the
 /// application* (all accesses counted, successful or not, concurrent or not)
@@ -20,7 +20,7 @@ use crate::trace::Trace;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Bps;
 
-impl Metric for Bps {
+impl MetricFold for Bps {
     fn name(&self) -> &'static str {
         "BPS"
     }
@@ -29,10 +29,10 @@ impl Metric for Bps {
         Direction::Negative
     }
 
-    fn compute(&self, trace: &Trace) -> Option<f64> {
-        let blocks = trace.blocks(Layer::Application);
-        let t = trace.overlapped_io_time(Layer::Application);
-        if trace.op_count(Layer::Application) == 0 || t.is_zero() {
+    fn finish(&self, acc: &StreamingMetrics) -> Option<f64> {
+        let blocks = acc.blocks(Layer::Application);
+        let t = acc.overlapped_io_time(Layer::Application);
+        if acc.op_count(Layer::Application) == 0 || t.is_zero() {
             return None;
         }
         Some(blocks as f64 / t.as_secs_f64())
@@ -41,13 +41,27 @@ impl Metric for Bps {
     fn unit(&self) -> &'static str {
         "blocks/s"
     }
+
+    fn describe(&self) -> &'static str {
+        "required 512 B blocks / overlapped app I/O time (the paper's metric)"
+    }
+
+    fn col_precision(&self) -> usize {
+        1
+    }
+
+    fn csv_label(&self) -> &'static str {
+        "bps"
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::Metric;
     use crate::record::{FileId, IoRecord, ProcessId};
     use crate::time::Nanos;
+    use crate::trace::Trace;
 
     fn read(pid: u32, bytes: u64, s_ms: u64, e_ms: u64) -> IoRecord {
         IoRecord::app_read(

@@ -5,10 +5,16 @@
 //! can only print four numbers is not easy to use. The ablation benches also
 //! rely on them (e.g. effective parallelism to verify the concurrency
 //! experiments actually varied concurrency).
+//!
+//! Like the paper four, each is a [`MetricFold`] over the shared
+//! [`StreamingMetrics`] accumulator; the percentiles and queue depth
+//! declare [`FoldNeeds`] so the sink retains the per-record state their
+//! `finish` reads (the only registered metrics that are not constant-space).
 
-use super::{Direction, Metric};
+use super::{Direction, FoldNeeds, MetricFold};
+use crate::interval::ConcurrencyProfile;
 use crate::record::Layer;
-use crate::trace::Trace;
+use crate::sink::StreamingMetrics;
 
 /// A latency percentile over application request response times, in seconds.
 ///
@@ -26,7 +32,7 @@ impl LatencyPercentile {
     pub const P99: LatencyPercentile = LatencyPercentile(99.0);
 }
 
-impl Metric for LatencyPercentile {
+impl MetricFold for LatencyPercentile {
     fn name(&self) -> &'static str {
         // Stable static names for the common ranks; callers needing exotic
         // ranks format their own labels from `self.0`.
@@ -43,10 +49,18 @@ impl Metric for LatencyPercentile {
         Direction::Positive
     }
 
-    fn compute(&self, trace: &Trace) -> Option<f64> {
-        let mut durs: Vec<f64> = trace
-            .layer(Layer::Application)
-            .map(|r| r.duration().as_secs_f64())
+    fn needs(&self) -> FoldNeeds {
+        FoldNeeds {
+            app_durations: true,
+            ..FoldNeeds::NONE
+        }
+    }
+
+    fn finish(&self, acc: &StreamingMetrics) -> Option<f64> {
+        let mut durs: Vec<f64> = acc
+            .app_durations()?
+            .iter()
+            .map(|d| d.as_secs_f64())
             .collect();
         if durs.is_empty() {
             return None;
@@ -60,6 +74,40 @@ impl Metric for LatencyPercentile {
     fn unit(&self) -> &'static str {
         "s"
     }
+
+    fn describe(&self) -> &'static str {
+        if self.0 == 50.0 {
+            "median application response time"
+        } else if self.0 == 99.0 {
+            "99th-percentile application response time (tail latency)"
+        } else {
+            "nearest-rank application response time percentile"
+        }
+    }
+
+    fn col_label(&self) -> &'static str {
+        if self.0 == 50.0 {
+            "P50(s)"
+        } else if self.0 == 99.0 {
+            "P99(s)"
+        } else {
+            "Pxx(s)"
+        }
+    }
+
+    fn col_precision(&self) -> usize {
+        6
+    }
+
+    fn csv_label(&self) -> &'static str {
+        if self.0 == 50.0 {
+            "p50_s"
+        } else if self.0 == 99.0 {
+            "p99_s"
+        } else {
+            "pxx_s"
+        }
+    }
 }
 
 /// Effective parallelism: summed response time divided by overlapped I/O
@@ -68,7 +116,7 @@ impl Metric for LatencyPercentile {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EffectiveParallelism;
 
-impl Metric for EffectiveParallelism {
+impl MetricFold for EffectiveParallelism {
     fn name(&self) -> &'static str {
         "EffPar"
     }
@@ -77,16 +125,24 @@ impl Metric for EffectiveParallelism {
         Direction::Negative
     }
 
-    fn compute(&self, trace: &Trace) -> Option<f64> {
-        let t = trace.overlapped_io_time(Layer::Application);
-        if trace.op_count(Layer::Application) == 0 || t.is_zero() {
+    fn finish(&self, acc: &StreamingMetrics) -> Option<f64> {
+        let t = acc.overlapped_io_time(Layer::Application);
+        if acc.op_count(Layer::Application) == 0 || t.is_zero() {
             return None;
         }
-        Some(trace.summed_io_time(Layer::Application).as_secs_f64() / t.as_secs_f64())
+        Some(acc.summed_io_time(Layer::Application).as_secs_f64() / t.as_secs_f64())
     }
 
     fn unit(&self) -> &'static str {
         "x"
+    }
+
+    fn describe(&self) -> &'static str {
+        "mean in-flight requests while busy (summed / overlapped time)"
+    }
+
+    fn csv_label(&self) -> &'static str {
+        "eff_par"
     }
 }
 
@@ -96,7 +152,7 @@ impl Metric for EffectiveParallelism {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoEfficiency;
 
-impl Metric for IoEfficiency {
+impl MetricFold for IoEfficiency {
     fn name(&self) -> &'static str {
         "IOEff"
     }
@@ -105,10 +161,10 @@ impl Metric for IoEfficiency {
         Direction::Negative
     }
 
-    fn compute(&self, trace: &Trace) -> Option<f64> {
-        let required = trace.bytes(Layer::Application);
-        let moved = if trace.op_count(Layer::FileSystem) > 0 {
-            trace.bytes(Layer::FileSystem)
+    fn finish(&self, acc: &StreamingMetrics) -> Option<f64> {
+        let required = acc.bytes(Layer::Application);
+        let moved = if acc.op_count(Layer::FileSystem) > 0 {
+            acc.bytes(Layer::FileSystem)
         } else {
             required
         };
@@ -121,13 +177,25 @@ impl Metric for IoEfficiency {
     fn unit(&self) -> &'static str {
         "ratio"
     }
+
+    fn describe(&self) -> &'static str {
+        "bytes the app required / bytes the file system moved"
+    }
+
+    fn col_precision(&self) -> usize {
+        4
+    }
+
+    fn csv_label(&self) -> &'static str {
+        "io_eff"
+    }
 }
 
 /// Maximum number of simultaneously in-flight application requests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaxQueueDepth;
 
-impl Metric for MaxQueueDepth {
+impl MetricFold for MaxQueueDepth {
     fn name(&self) -> &'static str {
         "MaxQD"
     }
@@ -136,23 +204,48 @@ impl Metric for MaxQueueDepth {
         Direction::Negative
     }
 
-    fn compute(&self, trace: &Trace) -> Option<f64> {
-        if trace.op_count(Layer::Application) == 0 {
+    fn needs(&self) -> FoldNeeds {
+        FoldNeeds {
+            app_intervals: true,
+            ..FoldNeeds::NONE
+        }
+    }
+
+    fn finish(&self, acc: &StreamingMetrics) -> Option<f64> {
+        let intervals = acc.app_intervals()?;
+        if acc.op_count(Layer::Application) == 0 {
             return None;
         }
-        Some(f64::from(trace.concurrency(Layer::Application).max_depth))
+        // The profile's event sweep sorts internally, so arrival order is
+        // irrelevant and the streamed result matches the trace path exactly.
+        let profile = ConcurrencyProfile::from_intervals(intervals.iter().copied());
+        Some(f64::from(profile.max_depth))
     }
 
     fn unit(&self) -> &'static str {
         "reqs"
+    }
+
+    fn describe(&self) -> &'static str {
+        "peak simultaneously in-flight application requests"
+    }
+
+    fn col_precision(&self) -> usize {
+        0
+    }
+
+    fn csv_label(&self) -> &'static str {
+        "max_qd"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::Metric;
     use crate::record::{FileId, IoOp, IoRecord, ProcessId};
     use crate::time::Nanos;
+    use crate::trace::Trace;
 
     fn read(pid: u32, s_ms: u64, e_ms: u64) -> IoRecord {
         IoRecord::app_read(
@@ -206,5 +299,24 @@ mod tests {
         let t = Trace::from_records(vec![read(0, 0, 10), read(1, 5, 15), read(2, 6, 8)]);
         assert_eq!(MaxQueueDepth.compute(&t), Some(3.0));
         assert!(MaxQueueDepth.compute(&Trace::new()).is_none());
+    }
+
+    #[test]
+    fn needy_metrics_are_none_without_their_state() {
+        // A sink built without the retained state cannot finish the
+        // percentiles or queue depth — None, not a wrong answer.
+        use crate::sink::{RecordSink, StreamingMetrics};
+        let mut bare = StreamingMetrics::new();
+        bare.on_record(&read(0, 0, 10));
+        assert!(LatencyPercentile::P99.finish(&bare).is_none());
+        assert!(MaxQueueDepth.finish(&bare).is_none());
+        // EffPar and IOEff need nothing extra.
+        assert!(EffectiveParallelism.finish(&bare).is_some());
+        assert!(IoEfficiency.finish(&bare).is_some());
+
+        let mut full = StreamingMetrics::with_needs(FoldNeeds::ALL);
+        full.on_record(&read(0, 0, 10));
+        assert_eq!(LatencyPercentile::P99.finish(&full), Some(0.010));
+        assert_eq!(MaxQueueDepth.finish(&full), Some(1.0));
     }
 }

@@ -1,8 +1,8 @@
 //! IOPS — Input/Output Operations Per Second (paper §II).
 
-use super::{Direction, Metric};
+use super::{Direction, MetricFold};
 use crate::record::Layer;
-use crate::trace::Trace;
+use crate::sink::StreamingMetrics;
 
 /// Number of application I/O operations divided by the overlapped I/O time.
 ///
@@ -15,7 +15,7 @@ use crate::trace::Trace;
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Iops;
 
-impl Metric for Iops {
+impl MetricFold for Iops {
     fn name(&self) -> &'static str {
         "IOPS"
     }
@@ -24,9 +24,9 @@ impl Metric for Iops {
         Direction::Negative
     }
 
-    fn compute(&self, trace: &Trace) -> Option<f64> {
-        let ops = trace.op_count(Layer::Application);
-        let t = trace.overlapped_io_time(Layer::Application);
+    fn finish(&self, acc: &StreamingMetrics) -> Option<f64> {
+        let ops = acc.op_count(Layer::Application);
+        let t = acc.overlapped_io_time(Layer::Application);
         if ops == 0 || t.is_zero() {
             return None;
         }
@@ -36,13 +36,27 @@ impl Metric for Iops {
     fn unit(&self) -> &'static str {
         "ops/s"
     }
+
+    fn describe(&self) -> &'static str {
+        "application operations / overlapped app I/O time"
+    }
+
+    fn col_precision(&self) -> usize {
+        1
+    }
+
+    fn csv_label(&self) -> &'static str {
+        "iops"
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::Metric;
     use crate::record::{FileId, IoRecord, ProcessId};
     use crate::time::Nanos;
+    use crate::trace::Trace;
 
     fn read(bytes: u64, s_ms: u64, e_ms: u64) -> IoRecord {
         IoRecord::app_read(

@@ -1,36 +1,19 @@
 //! Human-readable summaries of traces and correlation sweeps.
 
 use crate::correlation::CcOutcome;
-use crate::metrics::extended::{
-    EffectiveParallelism, IoEfficiency, LatencyPercentile, MaxQueueDepth,
-};
-use crate::metrics::{paper_metrics, Metric};
+use crate::metrics::{registry, MetricSelection};
 use crate::record::Layer;
+use crate::sink::{RecordSink, StreamingMetrics};
 use crate::trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Every metric the toolkit computes for one trace, in one struct.
+/// A registry-ordered set of metric values for one trace or record stream,
+/// plus the raw counts behind them.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSummary {
-    /// Blocks per second (the paper's metric).
-    pub bps: Option<f64>,
-    /// Operations per second.
-    pub iops: Option<f64>,
-    /// File-system bandwidth, MB/s.
-    pub bandwidth_mbs: Option<f64>,
-    /// Average response time, seconds.
-    pub arpt_s: Option<f64>,
-    /// Median response time, seconds.
-    pub p50_s: Option<f64>,
-    /// 99th-percentile response time, seconds.
-    pub p99_s: Option<f64>,
-    /// Summed ÷ overlapped I/O time.
-    pub effective_parallelism: Option<f64>,
-    /// Required ÷ moved bytes.
-    pub io_efficiency: Option<f64>,
-    /// Maximum in-flight application requests.
-    pub max_queue_depth: Option<f64>,
+    /// `(name, value)` per selected metric, in registry order.
+    pub metrics: Vec<(String, Option<f64>)>,
     /// Application records.
     pub app_ops: u64,
     /// Application bytes requested.
@@ -46,26 +29,45 @@ pub struct MetricsSummary {
 }
 
 impl MetricsSummary {
-    /// Compute all metrics from a trace.
+    /// Compute every registered metric from a trace.
     pub fn from_trace(trace: &Trace) -> Self {
-        use crate::metrics::{Arpt, Bandwidth, Bps, Iops};
+        MetricsSummary::from_trace_selected(trace, &MetricSelection::all())
+    }
+
+    /// Compute a selection of metrics from a trace.
+    pub fn from_trace_selected(trace: &Trace, selection: &MetricSelection) -> Self {
+        let mut acc = StreamingMetrics::for_selection(selection);
+        acc.push_batch(trace.records());
+        acc.on_execution_time(trace.execution_time());
+        MetricsSummary::from_fold(&acc, selection)
+    }
+
+    /// Finish a selection of metrics from a streamed accumulator (which
+    /// must have been built with at least the selection's
+    /// [`FoldNeeds`](crate::metrics::FoldNeeds)).
+    pub fn from_fold(acc: &StreamingMetrics, selection: &MetricSelection) -> Self {
         MetricsSummary {
-            bps: Bps.compute(trace),
-            iops: Iops.compute(trace),
-            bandwidth_mbs: Bandwidth.compute(trace),
-            arpt_s: Arpt.compute(trace),
-            p50_s: LatencyPercentile::P50.compute(trace),
-            p99_s: LatencyPercentile::P99.compute(trace),
-            effective_parallelism: EffectiveParallelism.compute(trace),
-            io_efficiency: IoEfficiency.compute(trace),
-            max_queue_depth: MaxQueueDepth.compute(trace),
-            app_ops: trace.op_count(Layer::Application),
-            app_bytes: trace.bytes(Layer::Application),
-            app_blocks: trace.blocks(Layer::Application),
-            fs_bytes: trace.bytes(Layer::FileSystem),
-            io_time_s: trace.overlapped_io_time(Layer::Application).as_secs_f64(),
-            exec_time_s: trace.execution_time().as_secs_f64(),
+            metrics: selection
+                .metrics()
+                .iter()
+                .map(|m| (m.name().to_string(), m.finish(acc)))
+                .collect(),
+            app_ops: acc.op_count(Layer::Application),
+            app_bytes: acc.bytes(Layer::Application),
+            app_blocks: acc.blocks(Layer::Application),
+            fs_bytes: acc.bytes(Layer::FileSystem),
+            io_time_s: acc.overlapped_io_time(Layer::Application).as_secs_f64(),
+            exec_time_s: acc.execution_time().as_secs_f64(),
         }
+    }
+
+    /// The value of a summarized metric by name (case-insensitive); `None`
+    /// when not summarized or undefined on this stream.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .and_then(|(_, v)| *v)
     }
 }
 
@@ -80,23 +82,10 @@ fn fmt_opt(v: Option<f64>) -> String {
 
 impl fmt::Display for MetricsSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "  BPS        : {} blocks/s", fmt_opt(self.bps))?;
-        writeln!(f, "  IOPS       : {} ops/s", fmt_opt(self.iops))?;
-        writeln!(f, "  Bandwidth  : {} MB/s", fmt_opt(self.bandwidth_mbs))?;
-        writeln!(f, "  ARPT       : {} s", fmt_opt(self.arpt_s))?;
-        writeln!(
-            f,
-            "  P50 / P99  : {} / {} s",
-            fmt_opt(self.p50_s),
-            fmt_opt(self.p99_s)
-        )?;
-        writeln!(
-            f,
-            "  EffPar     : {}   IOEff: {}   MaxQD: {}",
-            fmt_opt(self.effective_parallelism),
-            fmt_opt(self.io_efficiency),
-            fmt_opt(self.max_queue_depth)
-        )?;
+        for (name, value) in &self.metrics {
+            let unit = registry().find(name).map(|m| m.unit()).unwrap_or("");
+            writeln!(f, "  {:<11}: {} {}", name, fmt_opt(*value), unit)?;
+        }
         writeln!(
             f,
             "  app ops/bytes/blocks: {} / {} / {}",
@@ -181,14 +170,36 @@ impl CcReport {
     /// `cases` holds the trace of each I/O access case in the sweep; the
     /// execution time of each case comes from [`Trace::execution_time`].
     pub fn from_cases(label: impl Into<String>, cases: &[Trace]) -> CcReport {
+        CcReport::from_cases_selected(label, cases, &MetricSelection::paper())
+    }
+
+    /// Score a selection of registered metrics over per-case traces; rows
+    /// come out in registry order.
+    pub fn from_cases_selected(
+        label: impl Into<String>,
+        cases: &[Trace],
+        selection: &MetricSelection,
+    ) -> CcReport {
         let exec: Vec<f64> = cases
             .iter()
             .map(|t| t.execution_time().as_secs_f64())
             .collect();
-        let rows = paper_metrics()
+        // Fold each case once; every selected metric finishes from the
+        // same accumulator.
+        let accs: Vec<StreamingMetrics> = cases
+            .iter()
+            .map(|t| {
+                let mut acc = StreamingMetrics::for_selection(selection);
+                acc.push_batch(t.records());
+                acc.on_execution_time(t.execution_time());
+                acc
+            })
+            .collect();
+        let rows = selection
+            .metrics()
             .iter()
             .map(|m| {
-                let values: Option<Vec<f64>> = cases.iter().map(|t| m.compute(t)).collect();
+                let values: Option<Vec<f64>> = accs.iter().map(|a| m.finish(a)).collect();
                 let outcome = values.and_then(|v| {
                     crate::correlation::normalized_cc(&v, &exec, m.expected_direction()).ok()
                 });
@@ -204,11 +215,11 @@ impl CcReport {
         }
     }
 
-    /// The normalized CC of a named metric, if defined.
+    /// The normalized CC of a named metric (case-insensitive), if defined.
     pub fn normalized(&self, metric: &str) -> Option<f64> {
         self.rows
             .iter()
-            .find(|r| r.metric == metric)
+            .find(|r| r.metric.eq_ignore_ascii_case(metric))
             .and_then(|r| r.outcome.map(|o| o.normalized))
     }
 }
@@ -293,12 +304,34 @@ mod tests {
         let tr = &size_sweep()[0];
         let s = MetricsSummary::from_trace(tr);
         assert_eq!(s.app_bytes, 1 << 24);
-        assert!(s.bps.unwrap() > 0.0);
+        assert!(s.value("BPS").unwrap() > 0.0);
         assert!(s.exec_time_s > 0.0);
-        assert!((s.effective_parallelism.unwrap() - 1.0).abs() < 1e-9);
+        assert!((s.value("EffPar").unwrap() - 1.0).abs() < 1e-9);
+        // Registry-ordered, one entry per registered metric, looked up
+        // case-insensitively.
+        let names: Vec<&str> = s.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, crate::metrics::registry().names());
+        assert_eq!(s.value("bps"), s.value("BPS"));
+        assert!(s.value("QPS").is_none());
         let shown = format!("{s}");
         assert!(shown.contains("BPS"));
         assert!(shown.contains("exec time"));
+    }
+
+    #[test]
+    fn summary_respects_the_selection() {
+        let tr = &size_sweep()[0];
+        let sel = MetricSelection::parse(&["p99", "BPS"]).unwrap();
+        let s = MetricsSummary::from_trace_selected(tr, &sel);
+        let names: Vec<&str> = s.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["BPS", "P99"]);
+        assert!(s.value("P99").unwrap() > 0.0);
+        // Unselected metrics are absent, not None-valued.
+        assert!(s.value("IOPS").is_none());
+        // The selected values match the full-registry summary bit-for-bit.
+        let full = MetricsSummary::from_trace(tr);
+        assert_eq!(s.value("BPS"), full.value("BPS"));
+        assert_eq!(s.value("P99"), full.value("P99"));
     }
 
     #[test]
@@ -352,8 +385,20 @@ mod tests {
     #[test]
     fn summary_on_empty_trace_is_all_none() {
         let s = MetricsSummary::from_trace(&Trace::new());
-        assert!(s.bps.is_none());
-        assert!(s.iops.is_none());
+        assert!(s.metrics.iter().all(|(_, v)| v.is_none()));
         assert_eq!(s.app_ops, 0);
+    }
+
+    #[test]
+    fn cc_report_scores_extended_metrics() {
+        let sel = MetricSelection::parse(&["BPS", "p99"]).unwrap();
+        let report = CcReport::from_cases_selected("size sweep", &size_sweep(), &sel);
+        let metrics: Vec<&str> = report.rows.iter().map(|r| r.metric).collect();
+        assert_eq!(metrics, vec!["BPS", "P99"]);
+        assert!(report.normalized("p99").is_some());
+        assert_eq!(report.normalized("BPS"), {
+            let paper = CcReport::from_cases("size sweep", &size_sweep());
+            paper.normalized("BPS")
+        });
     }
 }

@@ -10,6 +10,9 @@
 //! metrics bit-for-bit without ever storing a record.
 
 use crate::interval::{Interval, OnlineUnion};
+use crate::metrics::{
+    registry, Arpt, Bandwidth, Bps, FoldNeeds, Iops, MetricFold, MetricSelection,
+};
 use crate::record::{IoRecord, Layer};
 use crate::time::{Dur, Nanos};
 use crate::trace::Trace;
@@ -101,15 +104,22 @@ impl LayerAcc {
     }
 }
 
-/// Incremental computation of the four paper metrics.
+/// The shared stream accumulator every [`MetricFold`] finishes from.
 ///
-/// Equivalent to collecting a [`Trace`] and calling
-/// `Bps/Iops/Bandwidth/Arpt::compute` on it, but in O(1) space per record
-/// (amortized; the interval union keeps one entry per disjoint busy
-/// period). Every accumulator is integer-valued (counts, bytes, blocks,
-/// nanoseconds), so the final floating-point divisions see exactly the
-/// operands the trace-based path computes: results are bit-for-bit equal,
-/// not merely close.
+/// Equivalent to collecting a [`Trace`] and calling `Metric::compute` on
+/// it, but in O(1) space per record (amortized; the interval union keeps
+/// one entry per disjoint busy period) for any selection whose
+/// [`FoldNeeds`] is [`FoldNeeds::NONE`] — the default, and all the paper
+/// four need. Every core accumulator is integer-valued (counts, bytes,
+/// blocks, nanoseconds), so the final floating-point divisions see exactly
+/// the operands the trace-based path computes: results are bit-for-bit
+/// equal, not merely close.
+///
+/// Metrics that need per-record state (latency percentiles, queue depth)
+/// declare it via [`MetricFold::needs`]; build the sink with
+/// [`StreamingMetrics::with_needs`] or
+/// [`StreamingMetrics::for_selection`] and only the requested state is
+/// retained.
 #[derive(Debug, Clone, Default)]
 pub struct StreamingMetrics {
     app: LayerAcc,
@@ -120,6 +130,10 @@ pub struct StreamingMetrics {
     last_end: Option<Nanos>,
     exec_time: Option<Dur>,
     records: u64,
+    /// Application response times in arrival order, when requested.
+    app_durations: Option<Vec<Dur>>,
+    /// Application in-flight intervals in arrival order, when requested.
+    app_intervals: Option<Vec<Interval>>,
 }
 
 /// Register-resident accumulator for one layer's share of a batch: counts
@@ -184,48 +198,55 @@ impl BatchAcc {
 }
 
 impl StreamingMetrics {
-    /// Fresh, empty accumulators.
+    /// Fresh, empty accumulators retaining nothing per record (sufficient
+    /// for the paper four).
     pub fn new() -> Self {
         StreamingMetrics::default()
+    }
+
+    /// Fresh accumulators retaining the per-record state `needs` asks for.
+    pub fn with_needs(needs: FoldNeeds) -> Self {
+        StreamingMetrics {
+            app_durations: needs.app_durations.then(Vec::new),
+            app_intervals: needs.app_intervals.then(Vec::new),
+            ..StreamingMetrics::default()
+        }
+    }
+
+    /// Fresh accumulators able to finish every metric in `selection`.
+    pub fn for_selection(selection: &MetricSelection) -> Self {
+        StreamingMetrics::with_needs(selection.needs())
     }
 
     /// `BPS = B / T` (equation (1)): application blocks over overlapped
     /// application I/O time. `None` on an empty or zero-time stream.
     pub fn bps(&self) -> Option<f64> {
-        let t = self.app.union.total();
-        if self.app.ops == 0 || t.is_zero() {
-            return None;
-        }
-        Some(self.app.blocks as f64 / t.as_secs_f64())
+        Bps.finish(self)
     }
 
     /// Application operations over overlapped application I/O time.
     pub fn iops(&self) -> Option<f64> {
-        let t = self.app.union.total();
-        if self.app.ops == 0 || t.is_zero() {
-            return None;
-        }
-        Some(self.app.ops as f64 / t.as_secs_f64())
+        Iops.finish(self)
     }
 
     /// Bytes moved through the file system over overlapped FS I/O time, in
     /// MB/s; falls back to the application layer when the FS layer was not
-    /// instrumented, exactly like the trace-based metric.
+    /// instrumented.
     pub fn bandwidth(&self) -> Option<f64> {
-        let layer = if self.fs.ops > 0 { &self.fs } else { &self.app };
-        let t = layer.union.total();
-        if layer.ops == 0 || t.is_zero() {
-            return None;
-        }
-        Some(layer.bytes as f64 / 1e6 / t.as_secs_f64())
+        Bandwidth.finish(self)
     }
 
     /// Average response time per application operation, seconds.
     pub fn arpt(&self) -> Option<f64> {
-        if self.app.ops == 0 {
-            return None;
-        }
-        Some(self.app.summed.as_secs_f64() / self.app.ops as f64)
+        Arpt.finish(self)
+    }
+
+    /// Finish the registered metric called `name` (case-insensitive) from
+    /// the accumulated state. `None` for unknown names, streams with no
+    /// relevant records, or metrics whose [`FoldNeeds`] this sink was not
+    /// built with.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        registry().find(name)?.finish(self)
     }
 
     /// Application execution time: the explicitly observed value if any,
@@ -260,6 +281,46 @@ impl StreamingMetrics {
         }
     }
 
+    /// Bytes observed at a layer. Zero for `Device` and `Retry`.
+    pub fn bytes(&self, layer: Layer) -> u64 {
+        match layer {
+            Layer::Application => self.app.bytes,
+            Layer::FileSystem => self.fs.bytes,
+            Layer::Device | Layer::Retry => 0,
+        }
+    }
+
+    /// 512-byte blocks observed at a layer. Zero for `Device` and `Retry`.
+    pub fn blocks(&self, layer: Layer) -> u64 {
+        match layer {
+            Layer::Application => self.app.blocks,
+            Layer::FileSystem => self.fs.blocks,
+            Layer::Device | Layer::Retry => 0,
+        }
+    }
+
+    /// Summed (non-overlapped) response time at a layer. Zero for `Device`
+    /// and `Retry`.
+    pub fn summed_io_time(&self, layer: Layer) -> Dur {
+        match layer {
+            Layer::Application => self.app.summed,
+            Layer::FileSystem => self.fs.summed,
+            Layer::Device | Layer::Retry => Dur::ZERO,
+        }
+    }
+
+    /// Application response times in arrival order; `None` unless the sink
+    /// was built with [`FoldNeeds::app_durations`].
+    pub fn app_durations(&self) -> Option<&[Dur]> {
+        self.app_durations.as_deref()
+    }
+
+    /// Application in-flight intervals in arrival order; `None` unless the
+    /// sink was built with [`FoldNeeds::app_intervals`].
+    pub fn app_intervals(&self) -> Option<&[Interval]> {
+        self.app_intervals.as_deref()
+    }
+
     /// Total records observed across all layers.
     pub fn len(&self) -> u64 {
         self.records
@@ -273,6 +334,19 @@ impl StreamingMetrics {
     /// Application blocks observed so far (the `B` of equation (1)).
     pub fn app_blocks(&self) -> u64 {
         self.app.blocks
+    }
+
+    /// Retain the per-record state requested at construction for one
+    /// application record. Both branches are untaken (and predictable) in
+    /// the default constant-space configuration.
+    #[inline]
+    fn retain_app(&mut self, r: &IoRecord) {
+        if let Some(durs) = &mut self.app_durations {
+            durs.push(r.duration());
+        }
+        if let Some(ivs) = &mut self.app_intervals {
+            ivs.push(r.interval());
+        }
     }
 }
 
@@ -288,7 +362,10 @@ impl RecordSink for StreamingMetrics {
             None => record.end,
         });
         match record.layer {
-            Layer::Application => self.app.observe(record),
+            Layer::Application => {
+                self.app.observe(record);
+                self.retain_app(record);
+            }
             Layer::FileSystem => self.fs.observe(record),
             Layer::Device => self.device_ops += 1,
             Layer::Retry => self.retry_ops += 1,
@@ -318,7 +395,10 @@ impl RecordSink for StreamingMetrics {
             first_start = first_start.min(r.start);
             last_end = last_end.max(r.end);
             match r.layer {
-                Layer::Application => app.observe(r, &mut self.app.union),
+                Layer::Application => {
+                    app.observe(r, &mut self.app.union);
+                    self.retain_app(r);
+                }
                 Layer::FileSystem => fs.observe(r, &mut self.fs.union),
                 Layer::Device => self.device_ops += 1,
                 Layer::Retry => self.retry_ops += 1,

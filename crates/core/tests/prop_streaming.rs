@@ -2,7 +2,7 @@
 //! materialize-then-compute path — bit-for-bit, not approximately.
 
 use bps_core::interval::{union_time, Interval, OnlineUnion};
-use bps_core::metrics::{Arpt, Bandwidth, Bps, Iops, Metric};
+use bps_core::metrics::{registry, Arpt, Bandwidth, Bps, FoldNeeds, Iops, Metric};
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
 use bps_core::sink::{RecordSink, StreamingMetrics};
 use bps_core::time::{Dur, Nanos};
@@ -165,6 +165,46 @@ proptest! {
             seq.overlapped_io_time(Layer::FileSystem),
             bat.overlapped_io_time(Layer::FileSystem)
         );
+    }
+
+    /// Every metric in the registry — paper four and extended — agrees
+    /// bit-for-bit across all three ingestion paths: the default
+    /// [`Metric::compute`] fold over a materialized trace, per-record
+    /// streaming, and batched streaming under every way of cutting the
+    /// stream (the accumulator retains [`FoldNeeds::ALL`], so even the
+    /// percentile and queue-depth folds are live).
+    #[test]
+    fn every_registry_metric_streams_batches_and_computes_identically(
+        recs in records(),
+        cuts in proptest::collection::vec(1usize..8, 0..24),
+    ) {
+        let mut trace = Trace::new();
+        let mut seq = StreamingMetrics::with_needs(FoldNeeds::ALL);
+        for r in &recs {
+            trace.on_record(r);
+            seq.on_record(r);
+        }
+        let mut bat = StreamingMetrics::with_needs(FoldNeeds::ALL);
+        let mut rest = &recs[..];
+        let mut cuts = cuts.iter();
+        while !rest.is_empty() {
+            let k = cuts.next().copied().unwrap_or(rest.len()).min(rest.len());
+            let (chunk, tail) = rest.split_at(k);
+            bat.push_batch(chunk);
+            rest = tail;
+        }
+        for m in registry().all() {
+            prop_assert_eq!(
+                bits(m.compute(&trace)),
+                bits(m.finish(&seq)),
+                "{}: compute vs per-record stream", m.name()
+            );
+            prop_assert_eq!(
+                bits(m.finish(&seq)),
+                bits(m.finish(&bat)),
+                "{}: per-record vs push_batch", m.name()
+            );
+        }
     }
 
     /// `OnlineUnion::insert_all` is exactly per-interval insertion, under

@@ -6,9 +6,11 @@
 //! reproduce fig5 --tiny            # test scale
 //! reproduce all --paper            # the paper's full data volumes (slow)
 //! reproduce list                   # the bundled scenarios, by name
+//! reproduce metrics                # the metric registry, by name
 //! reproduce run fig9 --tiny        # any bundled scenario through the engine
 //! reproduce run my_sweep.json      # a user-authored scenario, no recompiling
 //! reproduce check my_sweep.json    # parse + expand without running
+//! reproduce fig4 --metrics BPS,p99 # score a custom metric selection
 //! ```
 
 use bps_experiments::export;
@@ -45,13 +47,16 @@ const TARGETS: [&str; 19] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: reproduce <target>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>]\n\
+        "usage: reproduce <target>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>] [--metrics a,b,c]\n\
          \x20      reproduce list [filter]\n\
-         \x20      reproduce run <name|path.json>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>]\n\
+         \x20      reproduce metrics\n\
+         \x20      reproduce run <name|path.json>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>] [--metrics a,b,c]\n\
          \x20      reproduce check <path.json>...\n\
          targets: all, {}\n\
          threads: --threads <n> outranks the BPS_THREADS environment variable;\n\
-         \x20        with neither set, the machine's available parallelism is used",
+         \x20        with neither set, the machine's available parallelism is used\n\
+         metrics: --metrics selects registry metrics (see `reproduce metrics`) for any\n\
+         \x20        scenario that does not pin its own `metrics` list",
         TARGETS.join(", ")
     );
     std::process::exit(2);
@@ -92,6 +97,59 @@ fn cmd_list(filter: Option<&str>) {
         }
         println!("{:<18} {}", sc.name, sc.title);
     }
+}
+
+/// `reproduce metrics` — the metric registry: every name a scenario's
+/// `metrics` list, an `expect` clause, a Detail output, or `--metrics`
+/// can use.
+fn cmd_metrics() {
+    let reg = bps_core::metrics::registry();
+    let row = |m: &dyn bps_core::metrics::MetricFold| {
+        println!(
+            "  {:<7} {:<9} {:<8} {}",
+            m.name(),
+            match m.expected_direction() {
+                bps_core::metrics::Direction::Negative => "negative",
+                bps_core::metrics::Direction::Positive => "positive",
+            },
+            if m.unit().is_empty() { "-" } else { m.unit() },
+            m.describe()
+        );
+    };
+    println!("paper metrics (Table 1 expected correlation directions):");
+    for m in reg.paper() {
+        row(*m);
+    }
+    println!("extended metrics:");
+    for m in reg.extended() {
+        row(*m);
+    }
+}
+
+/// Parse and validate a `--metrics` argument ("BPS,p99,MaxQD"); exits
+/// with the registry listing on an unknown name, mirroring the
+/// unknown-target diagnostic.
+fn parse_metrics_flag(arg: &str) -> Vec<String> {
+    let names: Vec<String> = arg
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if names.is_empty() {
+        fail(format_args!(
+            "--metrics wants a comma-separated list of metric names, got `{arg}`"
+        ));
+    }
+    for n in &names {
+        if bps_core::metrics::registry().find(n).is_none() {
+            eprintln!("unknown metric: {n}");
+            eprintln!("valid metrics: {}", bps_core::metrics::registry().listing());
+            eprintln!("see `reproduce metrics` for descriptions");
+            std::process::exit(2);
+        }
+    }
+    names
 }
 
 fn cmd_check(paths: &[String]) {
@@ -168,10 +226,16 @@ fn main() {
     let mut csv_dir: Option<PathBuf> = None;
     let mut expect_csv_dir = false;
     let mut expect_threads = false;
+    let mut expect_metrics = false;
     for a in &args {
         if expect_csv_dir {
             csv_dir = Some(PathBuf::from(a));
             expect_csv_dir = false;
+            continue;
+        }
+        if expect_metrics {
+            engine::set_metric_override(Some(parse_metrics_flag(a)));
+            expect_metrics = false;
             continue;
         }
         if expect_threads {
@@ -190,11 +254,12 @@ fn main() {
             "--tiny" => scale = Scale::tiny(),
             "--csv" => expect_csv_dir = true,
             "--threads" => expect_threads = true,
+            "--metrics" => expect_metrics = true,
             other if other.starts_with("--") => usage(),
             other => targets.push(other.to_string()),
         }
     }
-    if expect_csv_dir || expect_threads || targets.is_empty() {
+    if expect_csv_dir || expect_threads || expect_metrics || targets.is_empty() {
         usage();
     }
 
@@ -204,6 +269,13 @@ fn main() {
                 usage();
             }
             cmd_list(targets.get(1).map(|s| s.as_str()));
+            return;
+        }
+        "metrics" => {
+            if targets.len() > 1 {
+                usage();
+            }
+            cmd_metrics();
             return;
         }
         "run" => {

@@ -5,21 +5,34 @@
 //! with any plotting tool.
 
 use crate::figures::common::{CcFigure, DetailSeries};
+use bps_core::metrics::registry;
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// CSV of a CC figure: one row per case, then the normalized CC rows.
+/// Selected metrics beyond the paper four appear as extra columns between
+/// `bps` and `exec_s`, headed by their registry `csv_label`; under the
+/// default paper selection the CSV is byte-identical to the historical
+/// fixed-column form.
 pub fn cc_figure_csv(fig: &CcFigure) -> String {
+    let extras: &[(String, f64)] = fig.cases.first().map(|c| c.extra.as_slice()).unwrap_or(&[]);
     let mut out = String::new();
-    writeln!(out, "case,iops,bw_mbs,arpt_s,bps,exec_s").unwrap();
+    write!(out, "case,iops,bw_mbs,arpt_s,bps").unwrap();
+    for (name, _) in extras {
+        let label = registry()
+            .find(name)
+            .map(|m| m.csv_label().to_string())
+            .unwrap_or_else(|| name.to_lowercase());
+        write!(out, ",{label}").unwrap();
+    }
+    writeln!(out, ",exec_s").unwrap();
     for c in &fig.cases {
-        writeln!(
-            out,
-            "{},{},{},{},{},{}",
-            c.label, c.iops, c.bw, c.arpt, c.bps, c.exec_s
-        )
-        .unwrap();
+        write!(out, "{},{},{},{},{}", c.label, c.iops, c.bw, c.arpt, c.bps).unwrap();
+        for (_, v) in &c.extra {
+            write!(out, ",{v}").unwrap();
+        }
+        writeln!(out, ",{}", c.exec_s).unwrap();
     }
     writeln!(out).unwrap();
     writeln!(out, "metric,normalized_cc,raw_cc,direction_correct").unwrap();
@@ -37,10 +50,15 @@ pub fn cc_figure_csv(fig: &CcFigure) -> String {
     out
 }
 
-/// CSV of a detail series.
+/// CSV of a detail series; the metric column is headed by its registry
+/// `csv_label` (lowercased name for a metric the registry does not know).
 pub fn detail_series_csv(series: &DetailSeries) -> String {
+    let label = registry()
+        .find(&series.metric)
+        .map(|m| m.csv_label().to_string())
+        .unwrap_or_else(|| series.metric.to_lowercase());
     let mut out = String::new();
-    writeln!(out, "case,{},exec_s", series.metric.to_lowercase()).unwrap();
+    writeln!(out, "case,{label},exec_s").unwrap();
     for (label, value, exec) in &series.points {
         writeln!(out, "{label},{value},{exec}").unwrap();
     }
@@ -71,6 +89,7 @@ mod tests {
                     arpt: 0.001 * k as f64,
                     bps: 1000.0 / k as f64,
                     exec_s: k as f64,
+                    extra: Vec::new(),
                 })
                 .collect(),
         )
@@ -84,6 +103,20 @@ mod tests {
         assert!(csv.contains("c3,"));
         assert!(csv.contains("BPS,"));
         assert!(csv.contains(",true"));
+    }
+
+    #[test]
+    fn cc_csv_appends_extra_metric_columns_by_csv_label() {
+        let mut fig = fig();
+        for c in &mut fig.cases {
+            c.extra = vec![("P99".to_string(), 0.5), ("MaxQD".to_string(), 4.0)];
+        }
+        let csv = cc_figure_csv(&fig);
+        assert!(
+            csv.starts_with("case,iops,bw_mbs,arpt_s,bps,p99_s,max_qd,exec_s"),
+            "{csv}"
+        );
+        assert!(csv.contains(",0.5,4,"), "{csv}");
     }
 
     #[test]

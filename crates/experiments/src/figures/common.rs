@@ -3,14 +3,14 @@
 use crate::runner::CasePoint;
 use crate::scenario::spec::Expect;
 use bps_core::correlation::{normalized_cc, CcOutcome};
-use bps_core::metrics::paper_metrics;
+use bps_core::metrics::{registry, MetricSelection};
 use serde::Serialize;
 use std::fmt;
 
 /// One metric's correlation verdict in a [`CcFigure`].
 #[derive(Debug, Clone, Serialize)]
 pub struct CcRow {
-    /// Metric name ("IOPS", "BW", "ARPT", "BPS").
+    /// Registry metric name ("IOPS", "BW", "ARPT", "BPS", "P99", ...).
     pub metric: String,
     /// The correlation outcome; `None` when the CC is undefined.
     pub outcome: Option<CcOutcome>,
@@ -20,25 +20,36 @@ pub struct CcRow {
     pub undefined_in: Vec<String>,
 }
 
-/// A reproduced CC bar chart (Figures 4–6, 9, 11, 12): the four paper
-/// metrics scored against execution time over the sweep's cases.
+/// A reproduced CC bar chart (Figures 4–6, 9, 11, 12): the selected
+/// registry metrics scored against execution time over the sweep's cases.
 #[derive(Debug, Clone, Serialize)]
 pub struct CcFigure {
     /// Figure label.
     pub label: String,
     /// The averaged sweep points.
     pub cases: Vec<CasePoint>,
-    /// One verdict per paper metric, in figure order.
+    /// One verdict per selected metric, in registry order.
     pub rows: Vec<CcRow>,
 }
 
 impl CcFigure {
-    /// Score the four metrics over averaged case points. A metric with a
-    /// non-finite value in any case gets no outcome, and the offending
-    /// cases are recorded so the report can say *why* the CC is missing.
+    /// [`CcFigure::from_points_selected`] with the paper selection — the
+    /// four metrics the paper's figures score.
     pub fn from_points(label: impl Into<String>, cases: Vec<CasePoint>) -> CcFigure {
+        CcFigure::from_points_selected(label, cases, &MetricSelection::paper())
+    }
+
+    /// Score each selected metric over averaged case points. A metric with
+    /// a non-finite value in any case gets no outcome, and the offending
+    /// cases are recorded so the report can say *why* the CC is missing.
+    pub fn from_points_selected(
+        label: impl Into<String>,
+        cases: Vec<CasePoint>,
+        selection: &MetricSelection,
+    ) -> CcFigure {
         let exec: Vec<f64> = cases.iter().map(|c| c.exec_s).collect();
-        let rows = paper_metrics()
+        let rows = selection
+            .metrics()
             .iter()
             .map(|m| {
                 let values: Vec<f64> = cases
@@ -70,9 +81,11 @@ impl CcFigure {
         }
     }
 
-    /// The row of a metric, if it is one of the paper's four.
+    /// The row of a metric (case-insensitive), if it was selected.
     pub fn row(&self, metric: &str) -> Option<&CcRow> {
-        self.rows.iter().find(|r| r.metric == metric)
+        self.rows
+            .iter()
+            .find(|r| r.metric.eq_ignore_ascii_case(metric))
     }
 
     /// Normalized CC of a metric, if defined.
@@ -90,18 +103,28 @@ impl CcFigure {
 
 impl fmt::Display for CcFigure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column labels and precisions come from the registry's display
+        // hints, so the table renders any selection; under the paper
+        // selection the output is byte-identical to the historical
+        // hard-coded four-column table.
+        let metrics: Vec<_> = self
+            .rows
+            .iter()
+            .filter_map(|r| registry().find(&r.metric))
+            .collect();
         writeln!(f, "=== {} ===", self.label)?;
-        writeln!(
-            f,
-            "{:<14} {:>12} {:>12} {:>12} {:>12} {:>10}",
-            "case", "IOPS", "BW(MB/s)", "ARPT(s)", "BPS", "exec(s)"
-        )?;
+        write!(f, "{:<14}", "case")?;
+        for m in &metrics {
+            write!(f, " {:>12}", m.col_label())?;
+        }
+        writeln!(f, " {:>10}", "exec(s)")?;
         for c in &self.cases {
-            writeln!(
-                f,
-                "{:<14} {:>12.1} {:>12.2} {:>12.6} {:>12.1} {:>10.3}",
-                c.label, c.iops, c.bw, c.arpt, c.bps, c.exec_s
-            )?;
+            write!(f, "{:<14}", c.label)?;
+            for m in &metrics {
+                let v = c.metric(m.name()).unwrap_or(f64::NAN);
+                write!(f, " {:>12.prec$}", v, prec = m.col_precision())?;
+            }
+            writeln!(f, " {:>10.3}", c.exec_s)?;
         }
         writeln!(f, "normalized CC vs execution time:")?;
         for row in &self.rows {
@@ -165,7 +188,9 @@ pub struct DetailSeries {
 }
 
 impl DetailSeries {
-    /// Extract a metric's series from averaged case points.
+    /// Extract a metric's series from averaged case points. Any registry
+    /// metric name works (case-insensitive), provided the points were
+    /// scored with a selection that includes it.
     pub fn from_points(
         label: impl Into<String>,
         metric: &str,
@@ -215,6 +240,7 @@ mod tests {
             arpt,
             bps,
             exec_s,
+            extra: Vec::new(),
         }
     }
 
@@ -281,6 +307,27 @@ mod tests {
     fn expectation_helper_panics_on_violation() {
         let fig = CcFigure::from_points("test", well_behaved());
         assert_cc_expectations(&fig, &[Expect::wrong("IOPS")]);
+    }
+
+    #[test]
+    fn selected_figure_scores_extras_and_renders_their_columns() {
+        // p99 falls with execution time here: direction "wrong" for a
+        // Positive-direction metric is irrelevant — we only check plumbing.
+        let mut cases = well_behaved();
+        for (k, c) in cases.iter_mut().enumerate() {
+            c.extra = vec![("P99".to_string(), 0.002 * (k + 1) as f64)];
+        }
+        let sel = MetricSelection::parse(&["BPS", "p99"]).unwrap();
+        let fig = CcFigure::from_points_selected("test", cases, &sel);
+        let rows: Vec<&str> = fig.rows.iter().map(|r| r.metric.as_str()).collect();
+        assert_eq!(rows, ["BPS", "P99"]);
+        // Lookup is case-insensitive and the extended metric scores.
+        assert_eq!(fig.direction_correct("p99"), Some(true));
+        assert!(fig.normalized("P99").unwrap() > 0.9);
+        assert!(fig.normalized("IOPS").is_none());
+        let shown = format!("{fig}");
+        assert!(shown.contains("P99(s)"), "{shown}");
+        assert!(!shown.contains("BW(MB/s)"), "{shown}");
     }
 
     #[test]

@@ -313,6 +313,7 @@ impl FaultKind {
                     })
                     .collect(),
             ),
+            metrics: Vec::new(),
             expect: Vec::new(),
             verdict: None,
         }

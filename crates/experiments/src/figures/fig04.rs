@@ -67,6 +67,7 @@ pub fn scenario() -> Scenario {
                 })
                 .collect(),
         ),
+        metrics: Vec::new(),
         expect: ["IOPS", "BW", "ARPT", "BPS"]
             .iter()
             .map(|m| Expect::correct(m, 0.7))

@@ -80,6 +80,7 @@ pub fn record_size_scenario(
             },
         ),
         grid: Grid::single(record_size_cells()),
+        metrics: Vec::new(),
         expect,
         verdict: None,
     }

@@ -59,6 +59,7 @@ pub fn concurrency_scenario(
                 })
                 .collect(),
         ),
+        metrics: Vec::new(),
         expect,
         verdict: None,
     }

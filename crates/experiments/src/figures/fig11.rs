@@ -52,6 +52,7 @@ pub fn scenario() -> Scenario {
                 })
                 .collect(),
         ),
+        metrics: Vec::new(),
         expect: vec![
             Expect::correct("IOPS", 0.6),
             Expect::correct("BW", 0.6),

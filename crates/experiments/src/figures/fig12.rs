@@ -62,6 +62,7 @@ pub fn scenario() -> Scenario {
                 })
                 .collect(),
         ),
+        metrics: Vec::new(),
         expect: vec![
             Expect::correct("IOPS", 0.7),
             Expect::correct("ARPT", 0.7),

@@ -8,6 +8,7 @@
 use crate::figures::common::CcFigure;
 use crate::figures::{fig04, fig05, fig06, fig09, fig11, fig12};
 use crate::scale::Scale;
+use bps_core::metrics::paper_metrics;
 use std::fmt::Write;
 
 /// Run every CC figure.
@@ -25,9 +26,10 @@ pub fn all_figures(scale: &Scale) -> Vec<CcFigure> {
 /// The cross-experiment verdict per metric: `(name, mean normalized CC,
 /// number of scenarios with the wrong direction)`.
 pub fn verdicts(figures: &[CcFigure]) -> Vec<(String, f64, usize)> {
-    ["IOPS", "BW", "ARPT", "BPS"]
+    paper_metrics()
         .iter()
-        .map(|&m| {
+        .map(|m| m.name())
+        .map(|m| {
             let ccs: Vec<f64> = figures.iter().filter_map(|f| f.normalized(m)).collect();
             let mean = ccs.iter().sum::<f64>() / ccs.len() as f64;
             let wrong = figures

@@ -8,6 +8,7 @@
 //! [`CasePoint`] averages the four paper metrics over repeated seeded
 //! runs, as the paper averages 5 runs per case.
 
+use bps_core::metrics::MetricSelection;
 use bps_core::record::FileId;
 use bps_core::sink::{RecordSink, StreamingMetrics};
 use bps_core::time::Dur;
@@ -107,6 +108,17 @@ pub fn run_case_streaming(spec: &CaseSpec<'_>, seed: u64) -> StreamingMetrics {
     run_case_with(spec, seed, StreamingMetrics::new())
 }
 
+/// Like [`run_case_streaming`], but the sink retains whatever per-record
+/// state `selection` needs, so any selected registry metric can be
+/// finished from the result.
+pub fn run_case_streaming_selected(
+    spec: &CaseSpec<'_>,
+    seed: u64,
+    selection: &MetricSelection,
+) -> StreamingMetrics {
+    run_case_with(spec, seed, StreamingMetrics::for_selection(selection))
+}
+
 /// Run one case once with one seed, feeding records into `sink`.
 pub fn run_case_with<S: RecordSink + Default>(spec: &CaseSpec<'_>, seed: u64, sink: S) -> S {
     let servers = match spec.storage {
@@ -163,8 +175,8 @@ pub fn run_case_with<S: RecordSink + Default>(spec: &CaseSpec<'_>, seed: u64, si
 }
 
 /// The four paper metrics plus execution time for one case, averaged over
-/// seeds.
-#[derive(Debug, Clone, Serialize)]
+/// seeds, plus the mean of any further selected registry metrics.
+#[derive(Debug, Clone)]
 pub struct CasePoint {
     /// Case label (e.g. "pvfs-4", "64KB", "np=8", "spacing=512").
     pub label: String,
@@ -178,6 +190,29 @@ pub struct CasePoint {
     pub bps: f64,
     /// Mean application execution time, seconds.
     pub exec_s: f64,
+    /// `(name, mean)` for selected registry metrics beyond the paper four,
+    /// in registry order (empty under the default paper selection).
+    pub extra: Vec<(String, f64)>,
+}
+
+// Hand-rolled so the empty `extra` of a paper-selection point is omitted
+// on the wire, keeping serialized sweeps byte-identical to the
+// pre-registry format.
+impl Serialize for CasePoint {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("iops".to_string(), self.iops.to_value()),
+            ("bw".to_string(), self.bw.to_value()),
+            ("arpt".to_string(), self.arpt.to_value()),
+            ("bps".to_string(), self.bps.to_value()),
+            ("exec_s".to_string(), self.exec_s.to_value()),
+        ];
+        if !self.extra.is_empty() {
+            pairs.push(("extra".to_string(), self.extra.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
 }
 
 impl CasePoint {
@@ -198,7 +233,25 @@ impl CasePoint {
     /// that metric is NaN and downstream correlation scoring reports
     /// `n/a`.
     pub fn from_runs(label: impl Into<String>, runs: &[StreamingMetrics]) -> CasePoint {
+        CasePoint::from_runs_selected(label, runs, &MetricSelection::paper())
+    }
+
+    /// Like [`CasePoint::from_runs`], additionally averaging every selected
+    /// registry metric beyond the paper four into [`CasePoint::extra`]
+    /// (the runs must have been folded with the selection's needs, e.g. via
+    /// [`run_case_streaming_selected`]).
+    pub fn from_runs_selected(
+        label: impl Into<String>,
+        runs: &[StreamingMetrics],
+        selection: &MetricSelection,
+    ) -> CasePoint {
         let label = label.into();
+        let extra_metrics: Vec<_> = selection
+            .metrics()
+            .iter()
+            .copied()
+            .filter(|m| !matches!(m.name(), "IOPS" | "BW" | "ARPT" | "BPS"))
+            .collect();
         if runs.is_empty() {
             eprintln!("warning: case {label}: no surviving runs; reporting NaN metrics");
             return CasePoint {
@@ -208,6 +261,10 @@ impl CasePoint {
                 arpt: f64::NAN,
                 bps: f64::NAN,
                 exec_s: f64::NAN,
+                extra: extra_metrics
+                    .iter()
+                    .map(|m| (m.name().to_string(), f64::NAN))
+                    .collect(),
             };
         }
         fn mean(label: &str, name: &str, values: Vec<Option<f64>>) -> f64 {
@@ -236,20 +293,37 @@ impl CasePoint {
                 .map(|r| r.execution_time().as_secs_f64())
                 .sum::<f64>()
                 / runs.len() as f64,
+            extra: extra_metrics
+                .iter()
+                .map(|m| {
+                    let values = runs.iter().map(|r| m.finish(r)).collect();
+                    (m.name().to_string(), mean(&label, m.name(), values))
+                })
+                .collect(),
             label,
         }
     }
 
-    /// The metric value by paper name ("IOPS", "BW", "ARPT", "BPS");
-    /// `None` for an unknown name.
+    /// The metric value by registry name, case-insensitive ("IOPS", "BW",
+    /// "ARPT", "BPS", or any selected extra); `None` for an unknown or
+    /// unselected name.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        match name {
-            "IOPS" => Some(self.iops),
-            "BW" => Some(self.bw),
-            "ARPT" => Some(self.arpt),
-            "BPS" => Some(self.bps),
-            _ => None,
+        if name.eq_ignore_ascii_case("IOPS") {
+            return Some(self.iops);
         }
+        if name.eq_ignore_ascii_case("BW") {
+            return Some(self.bw);
+        }
+        if name.eq_ignore_ascii_case("ARPT") {
+            return Some(self.arpt);
+        }
+        if name.eq_ignore_ascii_case("BPS") {
+            return Some(self.bps);
+        }
+        self.extra
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| *v)
     }
 }
 
@@ -334,9 +408,40 @@ mod tests {
             arpt: 3.0,
             bps: 4.0,
             exec_s: 5.0,
+            extra: vec![("P99".into(), 6.0)],
         };
         assert_eq!(p.metric("nope"), None);
         assert_eq!(p.metric("ARPT"), Some(3.0));
+        // Lookup is case-insensitive, over named fields and extras alike.
+        assert_eq!(p.metric("arpt"), Some(3.0));
+        assert_eq!(p.metric("p99"), Some(6.0));
+    }
+
+    #[test]
+    fn selected_runs_carry_extra_metrics() {
+        use bps_core::metrics::MetricSelection;
+        let w = Iozone::seq_read(4 << 20, 256 << 10);
+        let spec = CaseSpec::new(Storage::Hdd, &w);
+        let sel = MetricSelection::parse(&["BPS", "p99", "MaxQD"]).unwrap();
+        let runs = [
+            run_case_streaming_selected(&spec, 1, &sel),
+            run_case_streaming_selected(&spec, 2, &sel),
+        ];
+        let p = CasePoint::from_runs_selected("hdd", &runs, &sel);
+        // Paper fields are always populated; extras follow the selection.
+        assert!(p.bps.is_finite() && p.bps > 0.0);
+        let names: Vec<&str> = p.extra.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["P99", "MaxQD"]);
+        assert!(p.metric("P99").unwrap() > 0.0);
+        assert!(p.metric("MaxQD").unwrap() >= 1.0);
+        // The selected streaming run matches the trace computed the batch way.
+        use bps_core::metrics::extended::LatencyPercentile;
+        use bps_core::metrics::{Metric, MetricFold};
+        let trace = run_case(&spec, 1);
+        assert_eq!(
+            LatencyPercentile::P99.compute(&trace),
+            LatencyPercentile::P99.finish(&runs[0])
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::figures::faults::DegradedMix;
 use crate::runner::{CasePoint, CaseSpec, LayoutPolicy, Storage};
 use crate::scale::Scale;
 use crate::sweep::SweepExec;
+use bps_core::metrics::{registry, MetricSelection};
 use bps_core::time::{Dur, Nanos};
 use bps_middleware::sieving::SievingConfig;
 use bps_middleware::stack::RetryPolicy;
@@ -199,11 +200,35 @@ pub fn expand(scenario: &Scenario, scale: &Scale) -> Result<Vec<ResolvedCase>, E
             scenario.name
         )));
     }
-    if let OutputSpec::Detail { metric } = &scenario.output {
-        if !["IOPS", "BW", "ARPT", "BPS"].contains(&metric.as_str()) {
+    // Every metric name a scenario can mention — the `metrics` selection,
+    // a Detail output's highlighted metric, and each expectation — must
+    // resolve in the registry, so `reproduce check` catches typos without
+    // running anything.
+    for name in &scenario.metrics {
+        if registry().find(name).is_none() {
             return Err(err(format!(
-                "scenario `{}`: unknown detail metric `{metric}` (expected IOPS, BW, ARPT or BPS)",
-                scenario.name
+                "scenario `{}`: unknown metric `{name}` (valid metrics: {})",
+                scenario.name,
+                registry().listing()
+            )));
+        }
+    }
+    if let OutputSpec::Detail { metric } = &scenario.output {
+        if registry().find(metric).is_none() {
+            return Err(err(format!(
+                "scenario `{}`: unknown detail metric `{metric}` (valid metrics: {})",
+                scenario.name,
+                registry().listing()
+            )));
+        }
+    }
+    for e in &scenario.expect {
+        if registry().find(&e.metric).is_none() {
+            return Err(err(format!(
+                "scenario `{}`: expectation names unknown metric `{}` (valid metrics: {})",
+                scenario.name,
+                e.metric,
+                registry().listing()
             )));
         }
     }
@@ -388,6 +413,46 @@ fn memo_cache() -> &'static Mutex<HashMap<String, CasePoint>> {
 static MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 static MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide CLI metric selection (`reproduce --metrics a,b,c`).
+fn metric_override() -> &'static Mutex<Option<Vec<String>>> {
+    static OVERRIDE: OnceLock<Mutex<Option<Vec<String>>>> = OnceLock::new();
+    OVERRIDE.get_or_init(Default::default)
+}
+
+/// Set (or clear, with `None`) the CLI metric selection. It applies to
+/// every scenario that does not pin its own `metrics` list — a scenario's
+/// explicit selection always wins, so a bundled figure that depends on a
+/// particular metric set keeps it under any CLI flags.
+pub fn set_metric_override(names: Option<Vec<String>>) {
+    *metric_override().lock().expect("metric override poisoned") = names;
+}
+
+/// The metric selection a scenario run computes and reports: the
+/// scenario's `metrics` list if non-empty, else the CLI override, else
+/// the paper four — always unioned with any metric the output or an
+/// expectation references, so scoring never misses a value it needs.
+fn effective_selection(scenario: &Scenario) -> Result<MetricSelection, EngineError> {
+    let cli = metric_override()
+        .lock()
+        .expect("metric override poisoned")
+        .clone();
+    let base = if !scenario.metrics.is_empty() {
+        MetricSelection::parse(&scenario.metrics)
+    } else if let Some(names) = &cli {
+        MetricSelection::parse(names)
+    } else {
+        Ok(MetricSelection::paper())
+    }
+    .map_err(|e| err(format!("scenario `{}`: {e}", scenario.name)))?;
+    let mut referenced: Vec<&str> = Vec::new();
+    if let OutputSpec::Detail { metric } = &scenario.output {
+        referenced.push(metric);
+    }
+    referenced.extend(scenario.expect.iter().map(|e| e.metric.as_str()));
+    base.with_names(&referenced)
+        .map_err(|e| err(format!("scenario `{}`: {e}", scenario.name)))
+}
+
 /// Whether cross-figure memoization is on (default; `BPS_MEMO=0` turns it
 /// off).
 pub fn memo_enabled() -> bool {
@@ -406,12 +471,13 @@ pub fn memo_stats() -> (u64, u64) {
 /// Content key of a case: every field that feeds the simulation, with the
 /// display label — which legitimately differs between figures sharing a
 /// case — stripped out.
-fn case_key(case: &ResolvedCase, scale: &Scale) -> String {
+fn case_key(case: &ResolvedCase, scale: &Scale, selection: &MetricSelection) -> String {
     let mut c = case.clone();
     c.label.clear();
     // Scale is included because DegradedMix workloads and the seed list
-    // are derived from it at run time.
-    format!("{c:?}|{scale:?}")
+    // are derived from it at run time; the metric selection because a
+    // cached point only carries the extras it was scored with.
+    format!("{c:?}|{scale:?}|{:?}", selection.names())
 }
 
 /// Expand, run and score a scenario with the environment's executor
@@ -439,6 +505,7 @@ fn run_with_memo(
     memo_on: bool,
 ) -> Result<ScenarioOutput, EngineError> {
     let resolved = expand(scenario, scale)?;
+    let selection = effective_selection(scenario)?;
 
     // Serve cases already simulated this process from the memo; only the
     // rest pay for workload construction and the sweep. The relative order
@@ -446,7 +513,10 @@ fn run_with_memo(
     // are bit-identical to an unmemoized run.
     let mut points: Vec<Option<CasePoint>> = vec![None; resolved.len()];
     let keys: Vec<String> = if memo_on {
-        let keys: Vec<String> = resolved.iter().map(|c| case_key(c, scale)).collect();
+        let keys: Vec<String> = resolved
+            .iter()
+            .map(|c| case_key(c, scale, &selection))
+            .collect();
         let cache = memo_cache().lock().expect("memo cache poisoned");
         for (i, key) in keys.iter().enumerate() {
             if let Some(cached) = cache.get(key) {
@@ -514,7 +584,7 @@ fn run_with_memo(
                 (c.label.clone(), spec)
             })
             .collect();
-        let fresh = exec.run(&cases, &scale.seeds());
+        let fresh = exec.run_selected(&cases, &scale.seeds(), &selection);
         if memo_on {
             let mut cache = memo_cache().lock().expect("memo cache poisoned");
             for (&i, p) in missing.iter().zip(&fresh) {
@@ -530,12 +600,24 @@ fn run_with_memo(
         .map(|p| p.expect("every case scored"))
         .collect();
     Ok(match &scenario.output {
-        OutputSpec::Cc => ScenarioOutput::Cc(CcFigure::from_points(scenario.title.clone(), points)),
-        OutputSpec::Detail { metric } => ScenarioOutput::Detail(DetailSeries::from_points(
+        OutputSpec::Cc => ScenarioOutput::Cc(CcFigure::from_points_selected(
             scenario.title.clone(),
-            metric,
-            &points,
+            points,
+            &selection,
         )),
+        OutputSpec::Detail { metric } => {
+            // Canonicalize the user-written name ("p99" → "P99") so the
+            // rendered series header matches the registry.
+            let canon = registry()
+                .find(metric)
+                .map(|m| m.name())
+                .unwrap_or(metric.as_str());
+            ScenarioOutput::Detail(DetailSeries::from_points(
+                scenario.title.clone(),
+                canon,
+                &points,
+            ))
+        }
     })
 }
 
@@ -629,6 +711,7 @@ mod tests {
             output: OutputSpec::Cc,
             base: CaseTemplate::new(StorageSpec::Hdd, iozone_template()),
             grid,
+            metrics: Vec::new(),
             expect: Vec::new(),
             verdict: None,
         }
@@ -753,6 +836,88 @@ mod tests {
         };
         let e = expand(&sc, &Scale::tiny()).unwrap_err().to_string();
         assert!(e.contains("QPS"), "{e}");
+    }
+
+    #[test]
+    fn unknown_scenario_metric_rejected_at_expansion() {
+        let mut sc = cc_scenario(Grid::single(vec![CaseDecl::new("a", Patch::none())]));
+        sc.metrics = vec!["BPS".into(), "QPS".into()];
+        let e = expand(&sc, &Scale::tiny()).unwrap_err().to_string();
+        assert!(e.contains("QPS"), "{e}");
+        assert!(e.contains("valid metrics"), "{e}");
+        assert!(e.contains("MaxQD"), "{e}");
+    }
+
+    #[test]
+    fn unknown_expect_metric_rejected_at_expansion() {
+        let mut sc = cc_scenario(Grid::single(vec![CaseDecl::new("a", Patch::none())]));
+        sc.expect = vec![Expect::correct("QPS", 0.5)];
+        let e = expand(&sc, &Scale::tiny()).unwrap_err().to_string();
+        assert!(e.contains("expectation"), "{e}");
+        assert!(e.contains("QPS"), "{e}");
+    }
+
+    #[test]
+    fn selection_resolution_scenario_then_override_then_paper() {
+        let grid = || Grid::single(vec![CaseDecl::new("a", Patch::none())]);
+        // Default: the paper four.
+        assert_eq!(
+            effective_selection(&cc_scenario(grid())).unwrap().names(),
+            ["IOPS", "BW", "ARPT", "BPS"]
+        );
+        // Expectation metrics are always unioned in (registry order).
+        let mut sc = cc_scenario(grid());
+        sc.metrics = vec!["BPS".into()];
+        sc.expect = vec![Expect::correct("arpt", 0.5)];
+        assert_eq!(effective_selection(&sc).unwrap().names(), ["ARPT", "BPS"]);
+        // The CLI override fills in when a scenario has no list of its own,
+        // but never beats an explicit scenario selection.
+        set_metric_override(Some(vec!["BPS".into(), "MaxQD".into()]));
+        assert_eq!(
+            effective_selection(&cc_scenario(grid())).unwrap().names(),
+            ["BPS", "MaxQD"]
+        );
+        assert_eq!(effective_selection(&sc).unwrap().names(), ["ARPT", "BPS"]);
+        set_metric_override(None);
+        assert_eq!(
+            effective_selection(&cc_scenario(grid())).unwrap().names(),
+            ["IOPS", "BW", "ARPT", "BPS"]
+        );
+    }
+
+    #[test]
+    fn scenario_metrics_run_end_to_end() {
+        let grid = Grid::single(vec![
+            CaseDecl::new(
+                "r128k",
+                Patch {
+                    record_size: Some(128 << 10),
+                    ..Patch::none()
+                },
+            ),
+            CaseDecl::new(
+                "r512k",
+                Patch {
+                    record_size: Some(512 << 10),
+                    ..Patch::none()
+                },
+            ),
+        ]);
+        let mut sc = cc_scenario(grid);
+        sc.metrics = vec!["BPS".into(), "p99".into()];
+        let fig = run_with_memo(&sc, &Scale::tiny(), SweepExec::new(1), false)
+            .unwrap()
+            .into_cc();
+        let rows: Vec<&str> = fig.rows.iter().map(|r| r.metric.as_str()).collect();
+        assert_eq!(rows, ["BPS", "P99"]);
+        for c in &fig.cases {
+            assert_eq!(c.extra.len(), 1);
+            assert_eq!(c.extra[0].0, "P99");
+            assert!(c.extra[0].1 > 0.0, "{}: {:?}", c.label, c.extra);
+        }
+        let shown = format!("{fig}");
+        assert!(shown.contains("P99(s)"), "{shown}");
+        assert!(!shown.contains("IOPS"), "{shown}");
     }
 
     #[test]
@@ -909,6 +1074,7 @@ mod tests {
                     arpt: 0.001 * t,
                     bps: 6400.0 / t,
                     exec_s: t,
+                    extra: Vec::new(),
                 }
             })
             .collect();

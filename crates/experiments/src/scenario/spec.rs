@@ -398,7 +398,8 @@ pub enum OutputSpec {
     Cc,
     /// A detail series: one metric plotted against execution time.
     Detail {
-        /// The highlighted metric ("IOPS", "BW", "ARPT", "BPS").
+        /// The highlighted metric — any registered metric name
+        /// (case-insensitive; see `reproduce metrics`).
         metric: String,
     },
 }
@@ -407,7 +408,7 @@ pub enum OutputSpec {
 /// have over this sweep, and optionally a floor on its normalized CC.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Expect {
-    /// Metric name ("IOPS", "BW", "ARPT", "BPS").
+    /// Metric name — any registered metric (case-insensitive).
     pub metric: String,
     /// Whether the observed direction should match Table 1.
     pub direction_correct: bool,
@@ -453,7 +454,7 @@ pub enum Verdict {
 }
 
 /// A complete sweep description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Registry name (`reproduce run <name>`).
     pub name: String,
@@ -465,10 +466,55 @@ pub struct Scenario {
     pub base: CaseTemplate,
     /// The case grid.
     pub grid: Grid,
+    /// Registry metric names to compute and report (case-insensitive, any
+    /// order; rendered in registry order). Empty — the default, and
+    /// omitted from serialized scenarios — means the paper four. Metrics
+    /// named by `output` or `expect` are always computed in addition.
+    pub metrics: Vec<String>,
     /// Table-1 expected directions, checked by tests and `reproduce check`.
     pub expect: Vec<Expect>,
     /// Optional cross-metric verdict.
     pub verdict: Option<Verdict>,
+}
+
+// Hand-rolled (de)serialization because `metrics` is optional on the wire:
+// an empty selection is omitted when writing (so serialized scenarios are
+// byte-identical to the pre-`metrics` format) and defaults to empty when
+// absent (so every existing scenario file keeps parsing).
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("title".to_string(), self.title.to_value()),
+            ("output".to_string(), self.output.to_value()),
+            ("base".to_string(), self.base.to_value()),
+            ("grid".to_string(), self.grid.to_value()),
+        ];
+        if !self.metrics.is_empty() {
+            pairs.push(("metrics".to_string(), self.metrics.to_value()));
+        }
+        pairs.push(("expect".to_string(), self.expect.to_value()));
+        pairs.push(("verdict".to_string(), self.verdict.to_value()));
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Scenario {
+            name: Deserialize::from_value(v.field("name")?)?,
+            title: Deserialize::from_value(v.field("title")?)?,
+            output: Deserialize::from_value(v.field("output")?)?,
+            base: Deserialize::from_value(v.field("base")?)?,
+            grid: Deserialize::from_value(v.field("grid")?)?,
+            metrics: match v.field("metrics")? {
+                serde::Value::Null => Vec::new(),
+                other => Deserialize::from_value(other)?,
+            },
+            expect: Deserialize::from_value(v.field("expect")?)?,
+            verdict: Deserialize::from_value(v.field("verdict")?)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -543,11 +589,20 @@ mod tests {
                     },
                 ),
             ]),
+            metrics: Vec::new(),
             expect: vec![Expect::correct("BPS", 0.7), Expect::wrong("IOPS")],
             verdict: Some(Verdict::BpsStrictlyHighest),
         };
         let json = serde_json::to_string_pretty(&sc).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sc);
+        // The empty default is omitted on the wire, so pre-existing
+        // scenario files (and their goldens) are untouched.
+        assert!(!json.contains("\"metrics\""));
+        let mut with_metrics = sc.clone();
+        with_metrics.metrics = vec!["BPS".into(), "p99".into()];
+        let json = serde_json::to_string_pretty(&with_metrics).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with_metrics);
     }
 }

@@ -14,7 +14,8 @@
 //! [`std::thread::available_parallelism`]. A count of 1 runs inline on
 //! the calling thread.
 
-use crate::runner::{run_case_streaming, CasePoint, CaseSpec};
+use crate::runner::{run_case_streaming_selected, CasePoint, CaseSpec};
+use bps_core::metrics::MetricSelection;
 use bps_core::sink::StreamingMetrics;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -162,7 +163,19 @@ impl SweepExec {
     /// stderr rather than aborting the sweep; use [`Self::run_reporting`]
     /// to inspect failures programmatically.
     pub fn run(&self, cases: &[(String, CaseSpec<'_>)], seeds: &[u64]) -> Vec<CasePoint> {
-        let report = self.run_reporting(cases, seeds);
+        self.run_selected(cases, seeds, &MetricSelection::paper())
+    }
+
+    /// [`Self::run`] with an explicit metric selection: every unit's sink
+    /// retains what the selection needs, and each point averages the
+    /// selected non-paper metrics into [`CasePoint::extra`].
+    pub fn run_selected(
+        &self,
+        cases: &[(String, CaseSpec<'_>)],
+        seeds: &[u64],
+        selection: &MetricSelection,
+    ) -> Vec<CasePoint> {
+        let report = self.run_reporting_selected(cases, seeds, selection);
         for failure in &report.failures {
             eprintln!("warning: sweep unit failed: {failure}");
         }
@@ -176,12 +189,22 @@ impl SweepExec {
     /// the inline and the threaded execution paths. Units that complete
     /// average exactly as in a failure-free run.
     pub fn run_reporting(&self, cases: &[(String, CaseSpec<'_>)], seeds: &[u64]) -> SweepReport {
+        self.run_reporting_selected(cases, seeds, &MetricSelection::paper())
+    }
+
+    /// [`Self::run_reporting`] with an explicit metric selection.
+    pub fn run_reporting_selected(
+        &self,
+        cases: &[(String, CaseSpec<'_>)],
+        seeds: &[u64],
+        selection: &MetricSelection,
+    ) -> SweepReport {
         assert!(!seeds.is_empty(), "need at least one seed");
         let units = cases.len() * seeds.len();
         let runs: Vec<Result<StreamingMetrics, String>> = self.run_indexed(units, |i| {
             let (ci, si) = (i / seeds.len(), i % seeds.len());
             catch_unwind(AssertUnwindSafe(|| {
-                run_case_streaming(&cases[ci].1, seeds[si])
+                run_case_streaming_selected(&cases[ci].1, seeds[si], selection)
             }))
             .map_err(panic_message)
         });
@@ -200,7 +223,11 @@ impl SweepExec {
                     }),
                 }
             }
-            points.push(CasePoint::from_runs(label.clone(), &survived));
+            points.push(CasePoint::from_runs_selected(
+                label.clone(),
+                &survived,
+                selection,
+            ));
         }
         SweepReport { points, failures }
     }
@@ -213,9 +240,22 @@ impl SweepExec {
         spec: &CaseSpec<'_>,
         seeds: &[u64],
     ) -> CasePoint {
+        self.run_one_selected(label, spec, seeds, &MetricSelection::paper())
+    }
+
+    /// [`Self::run_one`] with an explicit metric selection.
+    pub fn run_one_selected(
+        &self,
+        label: impl Into<String>,
+        spec: &CaseSpec<'_>,
+        seeds: &[u64],
+        selection: &MetricSelection,
+    ) -> CasePoint {
         assert!(!seeds.is_empty(), "need at least one seed");
-        let runs = self.run_indexed(seeds.len(), |i| run_case_streaming(spec, seeds[i]));
-        CasePoint::from_runs(label, &runs)
+        let runs = self.run_indexed(seeds.len(), |i| {
+            run_case_streaming_selected(spec, seeds[i], selection)
+        });
+        CasePoint::from_runs_selected(label, &runs, selection)
     }
 }
 
@@ -272,6 +312,29 @@ mod tests {
             assert_eq!(a.arpt.to_bits(), b.arpt.to_bits());
             assert_eq!(a.bps.to_bits(), b.bps.to_bits());
             assert_eq!(a.exec_s.to_bits(), b.exec_s.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_thread_invariant_for_extended_selection() {
+        let w = Iozone::seq_read(2 << 20, 256 << 10);
+        let cases = vec![
+            ("hdd".to_string(), CaseSpec::new(Storage::Hdd, &w)),
+            ("ssd".to_string(), CaseSpec::new(Storage::Ssd, &w)),
+        ];
+        let seeds = [1, 2, 3];
+        let sel = MetricSelection::parse(&["BPS", "p50", "p99", "EffPar", "MaxQD"]).unwrap();
+        let seq = SweepExec::new(1).run_selected(&cases, &seeds, &sel);
+        let par = SweepExec::new(4).run_selected(&cases, &seeds, &sel);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.bps.to_bits(), b.bps.to_bits());
+            assert_eq!(a.extra.len(), 4);
+            for ((na, va), (nb, vb)) in a.extra.iter().zip(&b.extra) {
+                assert_eq!(na, nb);
+                assert_eq!(va.to_bits(), vb.to_bits(), "{na} differs across threads");
+            }
         }
     }
 

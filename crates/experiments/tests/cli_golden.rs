@@ -209,6 +209,75 @@ fn bundled_example_scenario_matches_its_golden() {
 }
 
 #[test]
+fn metrics_listing_matches_its_golden() {
+    // The registry listing is part of the CLI contract: names, directions,
+    // units, and one-line descriptions are pinned byte-for-byte.
+    assert_eq!(stdout_of(&["metrics"]), golden("metrics"));
+}
+
+#[test]
+fn explicit_paper_selection_is_byte_identical_to_the_default() {
+    // `--metrics BPS,IOPS,BW,ARPT` canonicalizes to the paper selection, so
+    // the report must be the exact golden bytes — selection is a view over
+    // the same fold, not a different computation.
+    assert_eq!(
+        stdout_of(&["fig4", "--tiny", "--metrics", "BPS,IOPS,BW,ARPT"]),
+        golden("fig4")
+    );
+}
+
+#[test]
+fn unknown_metrics_flag_names_itself_and_the_registry() {
+    let out = reproduce(&["fig4", "--tiny", "--metrics", "BPS,latency"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown metric: latency"), "{err}");
+    assert!(
+        err.contains("valid metrics: IOPS, BW, ARPT, BPS, P50, P99, EffPar, IOEff, MaxQD"),
+        "{err}"
+    );
+    assert!(err.contains("reproduce metrics"), "{err}");
+}
+
+#[test]
+fn json_scenario_selecting_p99_runs_end_to_end() {
+    // The tail-latency example asks for an extended metric ("p99") straight
+    // from scenario JSON. No recompiling: the registry resolves the name,
+    // the sweep folds the percentile, and the report is pinned.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let example = repo_root.join("examples/scenarios/tail-latency.json");
+    let out = stdout_of(&["run", example.to_str().unwrap(), "--tiny"]);
+    assert!(out.contains("P99(s)"), "{out}");
+    assert_eq!(out, golden("tail-latency"));
+}
+
+#[test]
+fn scenario_metric_selection_outranks_the_cli_flag() {
+    // A scenario that names its own metrics pins its columns; `--metrics`
+    // only fills in for scenarios that don't ask.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let example = repo_root.join("examples/scenarios/tail-latency.json");
+    assert_eq!(
+        stdout_of(&[
+            "run",
+            example.to_str().unwrap(),
+            "--tiny",
+            "--metrics",
+            "MaxQD"
+        ]),
+        golden("tail-latency")
+    );
+}
+
+#[test]
 fn check_reports_name_and_case_count() {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

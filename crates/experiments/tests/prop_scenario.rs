@@ -127,6 +127,7 @@ fn grid_scenario(
             },
         ),
         grid: Grid { dims },
+        metrics: Vec::new(),
         expect: vec![Expect::correct_direction("BPS")],
         verdict: None,
     }

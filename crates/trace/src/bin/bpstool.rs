@@ -1,17 +1,19 @@
 //! bpstool — inspect and convert BPS trace files.
 //!
 //! ```text
-//! bpstool summary <trace>            # all metrics for a trace file
+//! bpstool summary <trace>            # all registry metrics for a trace file
+//! bpstool summary <trace> --metrics BPS,p99   # a selection of them
 //! bpstool processes <trace>          # per-process breakdown
 //! bpstool timeline <trace> [ms]      # windowed BPS series (default 100 ms)
 //! bpstool validate <trace>           # sanity-check a trace
-//! bpstool compare <a> <b>            # metrics side by side
+//! bpstool compare <a> <b>            # metrics side by side (--metrics too)
 //! bpstool convert <in> <out>         # json <-> binary by extension
 //! ```
 //!
 //! Trace files are `.json` (full fidelity) or `.bpstrc` (the paper's
 //! 32-byte-per-record binary format).
 
+use bps_core::metrics::MetricSelection;
 use bps_core::report::MetricsSummary;
 use bps_core::time::Dur;
 use bps_core::trace::Trace;
@@ -21,6 +23,27 @@ use std::process::ExitCode;
 
 fn load(path: &Path) -> Result<Trace, String> {
     bps_trace::format::load_path(path).map_err(|e| e.to_string())
+}
+
+/// Split off a trailing `--metrics <names>` pair, resolving the names
+/// against the metric registry; `None` means no flag (caller picks its
+/// default selection).
+fn take_metrics_flag(args: &mut Vec<String>) -> Result<Option<MetricSelection>, String> {
+    let Some(pos) = args.iter().position(|a| a == "--metrics") else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err("--metrics wants a comma-separated list of metric names".into());
+    }
+    let names: Vec<String> = args[pos + 1]
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    args.drain(pos..pos + 2);
+    let sel = MetricSelection::parse(&names).map_err(|e| e.to_string())?;
+    Ok(Some(sel))
 }
 
 fn store(trace: &Trace, path: &Path) -> Result<(), String> {
@@ -45,13 +68,19 @@ fn sparkline(values: &[Option<f64>]) -> String {
 }
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics = take_metrics_flag(&mut args)?;
     match args.first().map(String::as_str) {
         Some("summary") => {
             let path = args.get(1).ok_or("summary needs a trace path")?;
             let trace = load(Path::new(path))?;
             println!("{} records", trace.len());
-            print!("{}", MetricsSummary::from_trace(&trace));
+            // Default: every registered metric.
+            let summary = match &metrics {
+                Some(sel) => MetricsSummary::from_trace_selected(&trace, sel),
+                None => MetricsSummary::from_trace(&trace),
+            };
+            print!("{summary}");
             Ok(())
         }
         Some("processes") => {
@@ -103,17 +132,23 @@ fn run() -> Result<(), String> {
         Some("compare") => {
             let a_path = args.get(1).ok_or("compare needs <a> <b>")?;
             let b_path = args.get(2).ok_or("compare needs <a> <b>")?;
-            let a = MetricsSummary::from_trace(&load(Path::new(a_path))?);
-            let b = MetricsSummary::from_trace(&load(Path::new(b_path))?);
+            let sel = metrics.unwrap_or_default();
+            let a = MetricsSummary::from_trace_selected(&load(Path::new(a_path))?, &sel);
+            let b = MetricsSummary::from_trace_selected(&load(Path::new(b_path))?, &sel);
             let fmt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "n/a".into());
             println!("{:<12} {:>16} {:>16} {:>10}", "metric", "A", "B", "B/A");
-            let rows: [(&str, Option<f64>, Option<f64>); 5] = [
-                ("BPS", a.bps, b.bps),
-                ("IOPS", a.iops, b.iops),
-                ("BW(MB/s)", a.bandwidth_mbs, b.bandwidth_mbs),
-                ("ARPT(s)", a.arpt_s, b.arpt_s),
-                ("exec(s)", Some(a.exec_time_s), Some(b.exec_time_s)),
-            ];
+            let mut rows: Vec<(String, Option<f64>, Option<f64>)> = sel
+                .metrics()
+                .iter()
+                .map(|m| {
+                    (
+                        m.col_label().to_string(),
+                        a.value(m.name()),
+                        b.value(m.name()),
+                    )
+                })
+                .collect();
+            rows.push(("exec(s)".into(), Some(a.exec_time_s), Some(b.exec_time_s)));
             for (name, av, bv) in rows {
                 let ratio = match (av, bv) {
                     (Some(x), Some(y)) if x != 0.0 => format!("{:.2}x", y / x),

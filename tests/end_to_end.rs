@@ -46,8 +46,8 @@ fn full_pipeline_produces_consistent_layers() {
 
     // All metrics computable; summary renders.
     let summary = MetricsSummary::from_trace(&trace);
-    assert!(summary.bps.unwrap() > 0.0);
-    assert!(summary.io_efficiency.unwrap() > 0.99);
+    assert!(summary.value("BPS").unwrap() > 0.0);
+    assert!(summary.value("IOEff").unwrap() > 0.99);
     assert!(format!("{summary}").contains("BPS"));
 }
 
