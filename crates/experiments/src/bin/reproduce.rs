@@ -11,6 +11,8 @@
 //! reproduce run my_sweep.json      # a user-authored scenario, no recompiling
 //! reproduce check my_sweep.json    # parse + expand without running
 //! reproduce fig4 --metrics BPS,p99 # score a custom metric selection
+//! reproduce fig4 --journal r.jsonl # checkpoint every finished unit
+//! reproduce resume r.jsonl         # pick the run back up, skipping done units
 //! ```
 
 use bps_experiments::export;
@@ -18,9 +20,12 @@ use bps_experiments::figures::{
     extensions, faults, fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
     fig11, fig12, overhead, summary, tables, writes,
 };
+use bps_experiments::journal::{self, Journal};
 use bps_experiments::scale::Scale;
 use bps_experiments::scenario::{engine, registry, spec::Scenario};
+use bps_experiments::supervise::{self, FailureKind};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// The fixed report targets, in `all` order.
 const TARGETS: [&str; 19] = [
@@ -48,26 +53,104 @@ const TARGETS: [&str; 19] = [
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce <target>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>] [--metrics a,b,c]\n\
+         \x20                       [--journal <path>] [--deadline-ms <n>] [--max-failures <n>]\n\
          \x20      reproduce list [filter]\n\
          \x20      reproduce metrics\n\
-         \x20      reproduce run <name|path.json>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>] [--metrics a,b,c]\n\
+         \x20      reproduce run <name|path.json>... [same flags as above]\n\
          \x20      reproduce check <path.json>...\n\
+         \x20      reproduce resume <journal> [extra flags]\n\
          targets: all, {}\n\
          threads: --threads <n> outranks the BPS_THREADS environment variable;\n\
          \x20        with neither set, the machine's available parallelism is used\n\
          metrics: --metrics selects registry metrics (see `reproduce metrics`) for any\n\
-         \x20        scenario that does not pin its own `metrics` list",
+         \x20        scenario that does not pin its own `metrics` list\n\
+         robustness: --journal records every finished (case, seed) unit to an append-only\n\
+         \x20        JSONL file; `reproduce resume <journal>` replays it and runs only the\n\
+         \x20        rest, byte-identical to an uninterrupted run. --deadline-ms bounds\n\
+         \x20        each unit's wall-clock time (a scenario's own `deadline_ms` outranks\n\
+         \x20        it); --max-failures N aborts once more than N units fail\n\
+         exit codes: 0 ok; 1 expectation violations or unknown name; 2 usage;\n\
+         \x20        3 invalid scenario; 4 I/O error; 5 unit panicked; 6 unit timed out;\n\
+         \x20        7 failure budget exceeded; 130 interrupted (journal flushed)",
         TARGETS.join(", ")
     );
     std::process::exit(2);
 }
 
-/// Exit with a one-line diagnostic (used for I/O failures: a CSV directory
-/// that cannot be created or written must not panic the whole reproduction
-/// run, just report and fail).
+/// Exit with a one-line diagnostic (used for failures that have no more
+/// specific class: an unknown bundled name, a CSV directory that cannot
+/// be written).
 fn fail(msg: impl std::fmt::Display) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(1);
+}
+
+/// Exit with the engine error's class code: 3 for an invalid scenario,
+/// 4 for an I/O failure.
+fn fail_engine(e: engine::EngineError) -> ! {
+    let code = match e.kind() {
+        engine::EngineErrorKind::InvalidSpec => FailureKind::InvalidSpec.exit_code(),
+        engine::EngineErrorKind::Io => FailureKind::Io.exit_code(),
+    };
+    eprintln!("error: {e}");
+    std::process::exit(code);
+}
+
+/// Drain the run's failure ledger, print a per-kind summary, and exit
+/// with the worst kind's code — or with 1 on expectation violations, or
+/// 0 on a clean run.
+fn finish(violations: bool) -> ! {
+    let failures = supervise::take_recorded_failures();
+    if !failures.is_empty() {
+        let mut counts: Vec<(FailureKind, usize)> = Vec::new();
+        for f in &failures {
+            match counts.iter_mut().find(|(k, _)| *k == f.kind) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((f.kind, 1)),
+            }
+        }
+        let summary: Vec<String> = counts
+            .iter()
+            .map(|(k, n)| format!("{n} {}", k.name()))
+            .collect();
+        eprintln!("{} unit(s) failed: {}", failures.len(), summary.join(", "));
+        let worst = FailureKind::worst(failures.iter().map(|f| f.kind))
+            .expect("non-empty failure ledger has a worst kind");
+        std::process::exit(worst.exit_code());
+    }
+    std::process::exit(if violations { 1 } else { 0 });
+}
+
+/// Install a SIGINT/SIGTERM handler that asks the supervisor to stop at
+/// the next unit boundary (the journal is flushed per unit, so completed
+/// work is already safe). Only installed for journaled runs — an
+/// unjournaled run keeps the default kill-me-now behavior.
+#[cfg(unix)]
+fn install_interrupt_handler() {
+    extern "C" fn handle(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        supervise::request_interrupt();
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, handle);
+        signal(SIGTERM, handle);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_interrupt_handler() {}
+
+/// Make a journal live: publish it to the engine, arm the interrupt
+/// handler, and remember the resume command for diagnostics.
+fn activate_journal(j: Arc<Journal>) {
+    supervise::set_resume_hint(Some(format!("reproduce resume {}", j.path().display())));
+    journal::set_active(Some(j));
+    install_interrupt_handler();
 }
 
 /// Resolve a `run` operand: a bundled scenario name, or a path to a JSON
@@ -76,7 +159,7 @@ fn resolve_scenario(arg: &str) -> Scenario {
     if arg.ends_with(".json") || Path::new(arg).exists() {
         match engine::load_path(Path::new(arg)) {
             Ok(sc) => sc,
-            Err(e) => fail(e),
+            Err(e) => fail_engine(e),
         }
     } else {
         match registry::find(arg) {
@@ -156,7 +239,7 @@ fn cmd_check(paths: &[String]) {
     for p in paths {
         let sc = match engine::load_path(Path::new(p)) {
             Ok(sc) => sc,
-            Err(e) => fail(e),
+            Err(e) => fail_engine(e),
         };
         let scales = [
             ("tiny", Scale::tiny()),
@@ -178,13 +261,13 @@ fn cmd_check(paths: &[String]) {
     }
 }
 
-fn cmd_run(refs: &[String], scale: &Scale, csv_dir: Option<&PathBuf>) {
+fn cmd_run(refs: &[String], scale: &Scale, csv_dir: Option<&PathBuf>) -> bool {
     let mut bad = false;
     for r in refs {
         let sc = resolve_scenario(r);
         let out = match engine::run(&sc, scale) {
             Ok(out) => out,
-            Err(e) => fail(e),
+            Err(e) => fail_engine(e),
         };
         if let Some(dir) = csv_dir {
             let csv = match &out {
@@ -211,30 +294,70 @@ fn cmd_run(refs: &[String], scale: &Scale, csv_dir: Option<&PathBuf>) {
         }
         println!();
     }
-    if bad {
-        std::process::exit(1);
-    }
+    bad
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
     }
+
+    // `resume <journal> [extra flags]`: the journal header stores the
+    // original arguments (minus its own `--journal` pair); extra flags
+    // append after them, so a later flag wins via the last-wins parse.
+    let mut resumed: Option<Arc<Journal>> = None;
+    if args[0] == "resume" {
+        if args.len() < 2 {
+            usage();
+        }
+        let path = PathBuf::from(&args[1]);
+        let (j, stored) = match Journal::open_resume(&path) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: cannot resume from {}: {e}", path.display());
+                std::process::exit(FailureKind::Io.exit_code());
+            }
+        };
+        eprintln!(
+            "resuming from {}: {} completed unit(s)",
+            path.display(),
+            j.replayed_units()
+        );
+        let j = Arc::new(j);
+        activate_journal(j.clone());
+        resumed = Some(j);
+        let mut full = stored;
+        full.extend(args.drain(2..));
+        args = full;
+        if args.is_empty() {
+            usage();
+        }
+    }
+
     let mut scale = Scale::quick();
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
+    let mut journal_path: Option<PathBuf> = None;
+    // The arguments a fresh journal stores in its header: everything
+    // except the `--journal <path>` pair (resume installs its own).
+    let mut header_args: Vec<String> = Vec::new();
     let mut expect_csv_dir = false;
     let mut expect_threads = false;
     let mut expect_metrics = false;
+    let mut expect_journal = false;
+    let mut expect_deadline = false;
+    let mut expect_max_failures = false;
     for a in &args {
         if expect_csv_dir {
             csv_dir = Some(PathBuf::from(a));
+            header_args.push(a.clone());
             expect_csv_dir = false;
             continue;
         }
         if expect_metrics {
             engine::set_metric_override(Some(parse_metrics_flag(a)));
+            header_args.push(a.clone());
             expect_metrics = false;
             continue;
         }
@@ -245,7 +368,35 @@ fn main() {
                     "--threads wants a positive integer, got `{a}`"
                 )),
             }
+            header_args.push(a.clone());
             expect_threads = false;
+            continue;
+        }
+        if expect_journal {
+            journal_path = Some(PathBuf::from(a));
+            expect_journal = false;
+            continue;
+        }
+        if expect_deadline {
+            match a.parse::<u64>() {
+                Ok(n) if n > 0 => supervise::set_deadline_override(Some(n)),
+                _ => fail(format_args!(
+                    "--deadline-ms wants a positive integer, got `{a}`"
+                )),
+            }
+            header_args.push(a.clone());
+            expect_deadline = false;
+            continue;
+        }
+        if expect_max_failures {
+            match a.parse::<usize>() {
+                Ok(n) => supervise::set_max_failures(Some(n)),
+                _ => fail(format_args!(
+                    "--max-failures wants a non-negative integer, got `{a}`"
+                )),
+            }
+            header_args.push(a.clone());
+            expect_max_failures = false;
             continue;
         }
         match a.as_str() {
@@ -255,12 +406,42 @@ fn main() {
             "--csv" => expect_csv_dir = true,
             "--threads" => expect_threads = true,
             "--metrics" => expect_metrics = true,
+            "--journal" => {
+                expect_journal = true;
+                continue;
+            }
+            "--deadline-ms" => expect_deadline = true,
+            "--max-failures" => expect_max_failures = true,
             other if other.starts_with("--") => usage(),
             other => targets.push(other.to_string()),
         }
+        header_args.push(a.clone());
     }
-    if expect_csv_dir || expect_threads || expect_metrics || targets.is_empty() {
+    if expect_csv_dir
+        || expect_threads
+        || expect_metrics
+        || expect_journal
+        || expect_deadline
+        || expect_max_failures
+        || targets.is_empty()
+    {
         usage();
+    }
+    if let Some(path) = &journal_path {
+        if resumed.is_some() {
+            fail(format_args!(
+                "resume already journals to the original file; drop --journal {}",
+                path.display()
+            ));
+        }
+        let j = match Journal::create(path, &header_args) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: cannot create journal {}: {e}", path.display());
+                std::process::exit(FailureKind::Io.exit_code());
+            }
+        };
+        activate_journal(Arc::new(j));
     }
 
     match targets[0].as_str() {
@@ -282,8 +463,8 @@ fn main() {
             if targets.len() < 2 {
                 usage();
             }
-            cmd_run(&targets[1..], &scale, csv_dir.as_ref());
-            return;
+            let bad = cmd_run(&targets[1..], &scale, csv_dir.as_ref());
+            finish(bad);
         }
         "check" => {
             if targets.len() < 2 {
@@ -398,4 +579,5 @@ fn main() {
         }
         println!();
     }
+    finish(false);
 }

@@ -28,11 +28,23 @@ pub fn cc_figure_csv(fig: &CcFigure) -> String {
     }
     writeln!(out, ",exec_s").unwrap();
     for c in &fig.cases {
-        write!(out, "{},{},{},{},{}", c.label, c.iops, c.bw, c.arpt, c.bps).unwrap();
-        for (_, v) in &c.extra {
-            write!(out, ",{v}").unwrap();
+        // A case whose every seed failed writes an annotated `n/a (kind)`
+        // for each undefined value instead of a bare NaN, so downstream
+        // tooling can tell "metric undefined" from "case never ran".
+        let cell = |out: &mut String, v: f64| match c.failed {
+            Some(kind) if !v.is_finite() => write!(out, ",n/a ({})", kind.name()).unwrap(),
+            _ => write!(out, ",{v}").unwrap(),
+        };
+        write!(out, "{}", c.label).unwrap();
+        cell(&mut out, c.iops);
+        cell(&mut out, c.bw);
+        cell(&mut out, c.arpt);
+        cell(&mut out, c.bps);
+        for &(_, v) in &c.extra {
+            cell(&mut out, v);
         }
-        writeln!(out, ",{}", c.exec_s).unwrap();
+        cell(&mut out, c.exec_s);
+        writeln!(out).unwrap();
     }
     writeln!(out).unwrap();
     writeln!(out, "metric,normalized_cc,raw_cc,direction_correct").unwrap();
@@ -90,6 +102,7 @@ mod tests {
                     bps: 1000.0 / k as f64,
                     exec_s: k as f64,
                     extra: Vec::new(),
+                    failed: None,
                 })
                 .collect(),
         )
@@ -117,6 +130,30 @@ mod tests {
             "{csv}"
         );
         assert!(csv.contains(",0.5,4,"), "{csv}");
+    }
+
+    #[test]
+    fn cc_csv_annotates_failed_cases_instead_of_bare_nan() {
+        let mut fig = fig();
+        fig.cases[2].iops = f64::NAN;
+        fig.cases[2].bw = f64::NAN;
+        fig.cases[2].arpt = f64::NAN;
+        fig.cases[2].bps = f64::NAN;
+        fig.cases[2].exec_s = f64::NAN;
+        fig.cases[2].failed = Some(crate::supervise::FailureKind::Panic);
+        let csv = cc_figure_csv(&fig);
+        assert!(
+            csv.contains("c3,n/a (panic),n/a (panic),n/a (panic),n/a (panic),n/a (panic)"),
+            "{csv}"
+        );
+        // Healthy cases keep the plain numeric form.
+        assert!(csv.contains("c1,100,"), "{csv}");
+        // A NaN without a recorded failure still writes NaN (an undefined
+        // metric on a case that ran is not a failed case).
+        fig.cases[0].bps = f64::NAN;
+        fig.cases[0].failed = None;
+        let csv = cc_figure_csv(&fig);
+        assert!(csv.contains("c1,100,10,0.001,NaN,"), "{csv}");
     }
 
     #[test]

@@ -60,7 +60,13 @@ impl CcFigure {
                     .iter()
                     .zip(&values)
                     .filter(|(c, v)| !v.is_finite() || !c.exec_s.is_finite())
-                    .map(|(c, _)| c.label.clone())
+                    .map(|(c, _)| match c.failed {
+                        // A case whose every seed failed carries the worst
+                        // failure kind, so "why n/a" names it instead of
+                        // leaving a bare NaN mystery.
+                        Some(kind) => format!("{} [{}]", c.label, kind.name()),
+                        None => c.label.clone(),
+                    })
                     .collect();
                 let outcome = if undefined_in.is_empty() {
                     normalized_cc(&values, &exec, m.expected_direction()).ok()
@@ -241,6 +247,7 @@ mod tests {
             bps,
             exec_s,
             extra: Vec::new(),
+            failed: None,
         }
     }
 
@@ -352,6 +359,27 @@ mod tests {
         let shown = format!("{fig}");
         assert!(
             shown.contains("n/a   (undefined in: case1, case3)"),
+            "{shown}"
+        );
+    }
+
+    #[test]
+    fn failed_case_annotates_the_undefined_report_with_its_kind() {
+        let mut cases = well_behaved();
+        cases[1].iops = f64::NAN;
+        cases[1].bw = f64::NAN;
+        cases[1].arpt = f64::NAN;
+        cases[1].bps = f64::NAN;
+        cases[1].exec_s = f64::NAN;
+        cases[1].failed = Some(crate::supervise::FailureKind::Timeout);
+        let fig = CcFigure::from_points("test", cases);
+        assert_eq!(
+            fig.row("BPS").unwrap().undefined_in,
+            vec!["case2 [timeout]"]
+        );
+        let shown = format!("{fig}");
+        assert!(
+            shown.contains("n/a   (undefined in: case2 [timeout])"),
             "{shown}"
         );
     }

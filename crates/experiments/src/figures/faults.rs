@@ -314,6 +314,7 @@ impl FaultKind {
                     .collect(),
             ),
             metrics: Vec::new(),
+            deadline_ms: None,
             expect: Vec::new(),
             verdict: None,
         }

@@ -68,6 +68,7 @@ pub fn scenario() -> Scenario {
                 .collect(),
         ),
         metrics: Vec::new(),
+        deadline_ms: None,
         expect: ["IOPS", "BW", "ARPT", "BPS"]
             .iter()
             .map(|m| Expect::correct(m, 0.7))

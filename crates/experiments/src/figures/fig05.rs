@@ -81,6 +81,7 @@ pub fn record_size_scenario(
         ),
         grid: Grid::single(record_size_cells()),
         metrics: Vec::new(),
+        deadline_ms: None,
         expect,
         verdict: None,
     }

@@ -60,6 +60,7 @@ pub fn concurrency_scenario(
                 .collect(),
         ),
         metrics: Vec::new(),
+        deadline_ms: None,
         expect,
         verdict: None,
     }

@@ -53,6 +53,7 @@ pub fn scenario() -> Scenario {
                 .collect(),
         ),
         metrics: Vec::new(),
+        deadline_ms: None,
         expect: vec![
             Expect::correct("IOPS", 0.6),
             Expect::correct("BW", 0.6),

@@ -63,6 +63,7 @@ pub fn scenario() -> Scenario {
                 .collect(),
         ),
         metrics: Vec::new(),
+        deadline_ms: None,
         expect: vec![
             Expect::correct("IOPS", 0.7),
             Expect::correct("ARPT", 0.7),

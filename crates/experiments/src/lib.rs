@@ -20,11 +20,14 @@
 
 pub mod export;
 pub mod figures;
+pub mod journal;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
+pub mod supervise;
 pub mod sweep;
 
 pub use runner::{run_case, run_case_streaming, CasePoint, CaseSpec, LayoutPolicy, Storage};
 pub use scale::Scale;
+pub use supervise::{FailureKind, UnitFailure};
 pub use sweep::SweepExec;

@@ -174,6 +174,48 @@ pub fn run_case_with<S: RecordSink + Default>(spec: &CaseSpec<'_>, seed: u64, si
     sink
 }
 
+/// The captured metric values of one completed `(case, seed)` unit: what
+/// a [`StreamingMetrics`] sink reduces to once the per-record state is no
+/// longer needed. This is the unit of the run journal — small, owned, and
+/// bit-exactly averageable, so a resumed run reproduces a cold run's
+/// bytes. `None` marks a metric the run left undefined (e.g. a zero-time
+/// run), which averaging counts and skips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitValues {
+    /// I/O operations per second.
+    pub iops: Option<f64>,
+    /// Bandwidth, MB/s.
+    pub bw: Option<f64>,
+    /// Average response time, seconds.
+    pub arpt: Option<f64>,
+    /// BPS, blocks/second.
+    pub bps: Option<f64>,
+    /// Application execution time, seconds.
+    pub exec_s: f64,
+    /// `(name, value)` for selected registry metrics beyond the paper
+    /// four, in selection order.
+    pub extra: Vec<(String, Option<f64>)>,
+}
+
+impl UnitValues {
+    /// Capture a finished run's values under a metric selection.
+    pub fn capture(run: &StreamingMetrics, selection: &MetricSelection) -> UnitValues {
+        UnitValues {
+            iops: run.iops(),
+            bw: run.bandwidth(),
+            arpt: run.arpt(),
+            bps: run.bps(),
+            exec_s: run.execution_time().as_secs_f64(),
+            extra: selection
+                .metrics()
+                .iter()
+                .filter(|m| !matches!(m.name(), "IOPS" | "BW" | "ARPT" | "BPS"))
+                .map(|m| (m.name().to_string(), m.finish(run)))
+                .collect(),
+        }
+    }
+}
+
 /// The four paper metrics plus execution time for one case, averaged over
 /// seeds, plus the mean of any further selected registry metrics.
 #[derive(Debug, Clone)]
@@ -193,6 +235,10 @@ pub struct CasePoint {
     /// `(name, mean)` for selected registry metrics beyond the paper four,
     /// in registry order (empty under the default paper selection).
     pub extra: Vec<(String, f64)>,
+    /// Set when every seed of this case failed — the metrics above are
+    /// NaN and this records *why* (panic, timeout, ...), so reports and
+    /// CSV exports annotate `n/a` with the failure class.
+    pub failed: Option<crate::supervise::FailureKind>,
 }
 
 // Hand-rolled so the empty `extra` of a paper-selection point is omitted
@@ -210,6 +256,12 @@ impl Serialize for CasePoint {
         ];
         if !self.extra.is_empty() {
             pairs.push(("extra".to_string(), self.extra.to_value()));
+        }
+        if let Some(kind) = self.failed {
+            pairs.push((
+                "failed".to_string(),
+                serde::Value::Str(kind.name().to_string()),
+            ));
         }
         serde::Value::Object(pairs)
     }
@@ -245,6 +297,22 @@ impl CasePoint {
         runs: &[StreamingMetrics],
         selection: &MetricSelection,
     ) -> CasePoint {
+        let units: Vec<UnitValues> = runs
+            .iter()
+            .map(|r| UnitValues::capture(r, selection))
+            .collect();
+        CasePoint::from_units(label, &units, selection)
+    }
+
+    /// Average captured per-unit values into one point — the journaled
+    /// form of [`CasePoint::from_runs_selected`], bit-identical to it
+    /// because [`UnitValues::capture`] records the exact `f64`s the live
+    /// sinks would have contributed.
+    pub fn from_units(
+        label: impl Into<String>,
+        units: &[UnitValues],
+        selection: &MetricSelection,
+    ) -> CasePoint {
         let label = label.into();
         let extra_metrics: Vec<_> = selection
             .metrics()
@@ -252,7 +320,7 @@ impl CasePoint {
             .copied()
             .filter(|m| !matches!(m.name(), "IOPS" | "BW" | "ARPT" | "BPS"))
             .collect();
-        if runs.is_empty() {
+        if units.is_empty() {
             eprintln!("warning: case {label}: no surviving runs; reporting NaN metrics");
             return CasePoint {
                 label,
@@ -265,6 +333,7 @@ impl CasePoint {
                     .iter()
                     .map(|m| (m.name().to_string(), f64::NAN))
                     .collect(),
+                failed: None,
             };
         }
         fn mean(label: &str, name: &str, values: Vec<Option<f64>>) -> f64 {
@@ -283,24 +352,32 @@ impl CasePoint {
                 defined.iter().sum::<f64>() / defined.len() as f64
             }
         }
-        CasePoint {
-            iops: mean(&label, "IOPS", runs.iter().map(|r| r.iops()).collect()),
-            bw: mean(&label, "BW", runs.iter().map(|r| r.bandwidth()).collect()),
-            arpt: mean(&label, "ARPT", runs.iter().map(|r| r.arpt()).collect()),
-            bps: mean(&label, "BPS", runs.iter().map(|r| r.bps()).collect()),
-            exec_s: runs
+        let named = |name: &str| -> Vec<Option<f64>> {
+            units
                 .iter()
-                .map(|r| r.execution_time().as_secs_f64())
-                .sum::<f64>()
-                / runs.len() as f64,
+                .map(|u| {
+                    u.extra
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .and_then(|(_, v)| *v)
+                })
+                .collect()
+        };
+        CasePoint {
+            iops: mean(&label, "IOPS", units.iter().map(|u| u.iops).collect()),
+            bw: mean(&label, "BW", units.iter().map(|u| u.bw).collect()),
+            arpt: mean(&label, "ARPT", units.iter().map(|u| u.arpt).collect()),
+            bps: mean(&label, "BPS", units.iter().map(|u| u.bps).collect()),
+            exec_s: units.iter().map(|u| u.exec_s).sum::<f64>() / units.len() as f64,
             extra: extra_metrics
                 .iter()
                 .map(|m| {
-                    let values = runs.iter().map(|r| m.finish(r)).collect();
+                    let values = named(m.name());
                     (m.name().to_string(), mean(&label, m.name(), values))
                 })
                 .collect(),
             label,
+            failed: None,
         }
     }
 
@@ -409,6 +486,7 @@ mod tests {
             bps: 4.0,
             exec_s: 5.0,
             extra: vec![("P99".into(), 6.0)],
+            failed: None,
         };
         assert_eq!(p.metric("nope"), None);
         assert_eq!(p.metric("ARPT"), Some(3.0));

@@ -37,22 +37,53 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// What class of problem an [`EngineError`] is — mapped by the
+/// `reproduce` CLI onto distinct exit codes (invalid-spec 3, io 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineErrorKind {
+    /// The scenario itself is wrong: bad JSON, an invalid grid, a patch
+    /// that does not apply, an unknown metric, an unbuildable workload.
+    InvalidSpec,
+    /// The environment failed: an unreadable scenario file.
+    Io,
+}
+
 /// Error expanding or running a scenario: an invalid grid, a patch that
 /// does not apply to the base workload, an unbuildable workload spec, or
 /// an unreadable scenario file.
 #[derive(Debug)]
-pub struct EngineError(String);
+pub struct EngineError {
+    kind: EngineErrorKind,
+    msg: String,
+}
+
+impl EngineError {
+    /// The failure class (drives the CLI exit code).
+    pub fn kind(&self) -> EngineErrorKind {
+        self.kind
+    }
+}
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.msg)
     }
 }
 
 impl std::error::Error for EngineError {}
 
 fn err(msg: impl fmt::Display) -> EngineError {
-    EngineError(msg.to_string())
+    EngineError {
+        kind: EngineErrorKind::InvalidSpec,
+        msg: msg.to_string(),
+    }
+}
+
+fn err_io(msg: impl fmt::Display) -> EngineError {
+    EngineError {
+        kind: EngineErrorKind::Io,
+        msg: msg.to_string(),
+    }
 }
 
 /// The workload of a fully expanded case.
@@ -480,8 +511,82 @@ fn case_key(case: &ResolvedCase, scale: &Scale, selection: &MetricSelection) -> 
     format!("{c:?}|{scale:?}|{:?}", selection.names())
 }
 
+/// Build a runnable [`CaseSpec`] from a resolved case and its built
+/// workload — the one translation both execution paths share.
+fn case_spec<'a>(c: &ResolvedCase, w: &'a dyn Workload) -> CaseSpec<'a> {
+    let storage = match c.storage {
+        StorageSpec::Hdd => Storage::Hdd,
+        StorageSpec::Ssd => Storage::Ssd,
+        StorageSpec::Pvfs { servers } => Storage::Pvfs { servers },
+    };
+    let mut spec = CaseSpec::new(storage, w);
+    spec.layout = match c.layout {
+        LayoutSpec::DefaultStripe => LayoutPolicy::DefaultStripe,
+        LayoutSpec::PinnedPerFile => LayoutPolicy::PinnedPerFile,
+    };
+    spec.sieving = match c.sieving {
+        SievingSpec::RomioDefault => SievingConfig::romio_default(),
+        SievingSpec::Disabled => SievingConfig::disabled(),
+    };
+    spec.retry = match c.retry {
+        RetrySpec::Default => RetryPolicy::default(),
+        RetrySpec::Custom {
+            max_attempts,
+            base_backoff_us,
+            max_backoff_us,
+        } => RetryPolicy {
+            max_attempts,
+            base_backoff: Dur::from_micros(base_backoff_us),
+            max_backoff: Dur::from_micros(max_backoff_us),
+            timeout: None,
+        },
+    };
+    spec.cpu_per_op = Dur::from_micros(c.cpu_per_op_us);
+    if let Some(f) = &c.fault {
+        spec.fault = build_fault(f);
+    }
+    if let Some(clients) = c.clients {
+        spec.clients = clients;
+    }
+    spec
+}
+
+/// Supervision options of one scenario run: the journal to replay/record,
+/// the per-unit wall-clock deadline, and the failure budget. The default
+/// (all `None`) runs the plain unsupervised sweep path.
+#[derive(Default, Clone)]
+pub struct RunOpts {
+    /// Journal to replay completed units from and record fresh units to.
+    pub journal: Option<std::sync::Arc<crate::journal::Journal>>,
+    /// Per-unit wall-clock deadline.
+    pub deadline: Option<std::time::Duration>,
+    /// Abort the run (exit 7) once more than this many units fail.
+    pub max_failures: Option<usize>,
+}
+
+impl RunOpts {
+    fn supervised(&self) -> bool {
+        self.journal.is_some() || self.deadline.is_some() || self.max_failures.is_some()
+    }
+
+    /// The process-wide options installed by the CLI, with the scenario's
+    /// own `deadline_ms` outranking `--deadline-ms` (mirroring how a
+    /// scenario's `metrics` list outranks `--metrics`).
+    fn from_globals(scenario: &Scenario) -> RunOpts {
+        RunOpts {
+            journal: crate::journal::active(),
+            deadline: scenario
+                .deadline_ms
+                .or_else(crate::supervise::deadline_override)
+                .map(std::time::Duration::from_millis),
+            max_failures: crate::supervise::max_failures(),
+        }
+    }
+}
+
 /// Expand, run and score a scenario with the environment's executor
-/// (`BPS_THREADS`).
+/// (`BPS_THREADS`) and the process-wide supervision options (journal,
+/// deadline, failure budget) installed by the CLI.
 pub fn run(scenario: &Scenario, scale: &Scale) -> Result<ScenarioOutput, EngineError> {
     run_with(scenario, scale, SweepExec::from_env())
 }
@@ -493,16 +598,143 @@ pub fn run_with(
     scale: &Scale,
     exec: SweepExec,
 ) -> Result<ScenarioOutput, EngineError> {
-    run_with_memo(scenario, scale, exec, memo_enabled())
+    run_with_opts(
+        scenario,
+        scale,
+        exec,
+        memo_enabled(),
+        &RunOpts::from_globals(scenario),
+    )
 }
 
 /// [`run_with`] with explicit memoization control — tests use this to
 /// pin the memo on or off without mutating process environment.
+#[cfg(test)]
 fn run_with_memo(
     scenario: &Scenario,
     scale: &Scale,
     exec: SweepExec,
     memo_on: bool,
+) -> Result<ScenarioOutput, EngineError> {
+    run_with_opts(scenario, scale, exec, memo_on, &RunOpts::default())
+}
+
+/// Run the missing cases through the supervised executor: one
+/// [`UnitTask`](crate::supervise::UnitTask) per `(case, seed)`, journal
+/// replay for units already on disk, journal append for fresh ones, and
+/// the watchdog enforcing the per-unit deadline. Healthy units produce
+/// the exact `f64`s of the plain path, so the output stays byte-identical
+/// to an unsupervised run.
+fn run_cases_supervised(
+    resolved: &[ResolvedCase],
+    missing: &[usize],
+    keys: &[String],
+    scale: &Scale,
+    selection: &MetricSelection,
+    exec: SweepExec,
+    opts: &RunOpts,
+) -> (Vec<CasePoint>, Vec<crate::supervise::UnitFailure>) {
+    use crate::runner::UnitValues;
+    use crate::supervise::{self, FailureKind, UnitOutcome, UnitTask};
+    use std::sync::Arc;
+
+    let seeds = scale.seeds();
+    let selection = Arc::new(selection.clone());
+    let mut outcomes: Vec<Vec<Option<UnitOutcome>>> = vec![vec![None; seeds.len()]; missing.len()];
+    let mut tasks: Vec<UnitTask> = Vec::new();
+    let mut task_pos: Vec<(usize, usize)> = Vec::new();
+    for (mi, &i) in missing.iter().enumerate() {
+        let case = Arc::new(resolved[i].clone());
+        for (si, &seed) in seeds.iter().enumerate() {
+            let key = if opts.journal.is_some() {
+                format!("{}#{seed}", keys[i])
+            } else {
+                String::new()
+            };
+            if let Some(journal) = &opts.journal {
+                if let Some(values) = journal.lookup(&key) {
+                    outcomes[mi][si] = Some(UnitOutcome::Done(values));
+                    continue;
+                }
+            }
+            let case = case.clone();
+            let selection = selection.clone();
+            let scale = *scale;
+            let label = resolved[i].label.clone();
+            task_pos.push((mi, si));
+            tasks.push(UnitTask {
+                label: resolved[i].label.clone(),
+                seed,
+                key,
+                work: Arc::new(move || {
+                    supervise::apply_test_hooks(&label);
+                    let workload = build_workload(&case.workload, &scale)
+                        .map_err(|e| (FailureKind::InvalidSpec, e.to_string()))?;
+                    let spec = case_spec(&case, workload.as_ref());
+                    let run = crate::runner::run_case_streaming_selected(&spec, seed, &selection);
+                    Ok(UnitValues::capture(&run, &selection))
+                }),
+            });
+        }
+    }
+    let journal = opts.journal.clone();
+    let on_done: Arc<supervise::OnDone> = Arc::new(move |task: &UnitTask, values: &UnitValues| {
+        if let Some(journal) = &journal {
+            journal.record(&task.key, &task.label, task.seed, values);
+        }
+    });
+    let fresh = supervise::run_supervised(
+        tasks,
+        exec.threads(),
+        opts.deadline,
+        opts.max_failures,
+        on_done,
+    );
+    for ((mi, si), outcome) in task_pos.into_iter().zip(fresh) {
+        outcomes[mi][si] = Some(outcome);
+    }
+
+    let mut points = Vec::with_capacity(missing.len());
+    let mut failures = Vec::new();
+    for (mi, &i) in missing.iter().enumerate() {
+        let label = &resolved[i].label;
+        let mut units: Vec<UnitValues> = Vec::with_capacity(seeds.len());
+        let mut kinds: Vec<FailureKind> = Vec::new();
+        for (si, &seed) in seeds.iter().enumerate() {
+            match outcomes[mi][si]
+                .take()
+                .expect("every (case, seed) unit replayed or executed")
+            {
+                UnitOutcome::Done(values) => units.push(values),
+                UnitOutcome::Failed(kind, detail) => {
+                    kinds.push(kind);
+                    failures.push(crate::supervise::UnitFailure {
+                        kind,
+                        case: label.clone(),
+                        seed,
+                        detail,
+                    });
+                }
+            }
+        }
+        let mut point = CasePoint::from_units(label.clone(), &units, &selection);
+        if units.is_empty() {
+            point.failed = FailureKind::worst(kinds);
+        }
+        points.push(point);
+    }
+    (points, failures)
+}
+
+/// [`run_with`] with everything explicit: executor, memoization, and
+/// supervision options. The test suites drive journaled/resumed runs
+/// through this without touching process-global state.
+pub fn run_with_opts(
+    scenario: &Scenario,
+    scale: &Scale,
+    exec: SweepExec,
+    memo_on: bool,
+    opts: &RunOpts,
 ) -> Result<ScenarioOutput, EngineError> {
     let resolved = expand(scenario, scale)?;
     let selection = effective_selection(scenario)?;
@@ -512,11 +744,17 @@ fn run_with_memo(
     // of the missing cases is their input order, so the simulated results
     // are bit-identical to an unmemoized run.
     let mut points: Vec<Option<CasePoint>> = vec![None; resolved.len()];
-    let keys: Vec<String> = if memo_on {
-        let keys: Vec<String> = resolved
+    // Case keys feed both the memo and the journal (journal unit keys are
+    // `<case-key>#<seed>`), so either consumer computes them.
+    let keys: Vec<String> = if memo_on || opts.journal.is_some() {
+        resolved
             .iter()
             .map(|c| case_key(c, scale, &selection))
-            .collect();
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if memo_on {
         let cache = memo_cache().lock().expect("memo cache poisoned");
         for (i, key) in keys.iter().enumerate() {
             if let Some(cached) = cache.get(key) {
@@ -525,10 +763,7 @@ fn run_with_memo(
                 points[i] = Some(p);
             }
         }
-        keys
-    } else {
-        Vec::new()
-    };
+    }
     let missing: Vec<usize> = (0..resolved.len())
         .filter(|&i| points[i].is_none())
         .collect();
@@ -538,53 +773,30 @@ fn run_with_memo(
     }
 
     if !missing.is_empty() {
-        let workloads: Vec<Box<dyn Workload>> = missing
-            .iter()
-            .map(|&i| build_workload(&resolved[i].workload, scale))
-            .collect::<Result<_, _>>()?;
-        let cases: Vec<(String, CaseSpec)> = missing
-            .iter()
-            .zip(&workloads)
-            .map(|(&i, w)| {
-                let c = &resolved[i];
-                let storage = match c.storage {
-                    StorageSpec::Hdd => Storage::Hdd,
-                    StorageSpec::Ssd => Storage::Ssd,
-                    StorageSpec::Pvfs { servers } => Storage::Pvfs { servers },
-                };
-                let mut spec = CaseSpec::new(storage, w.as_ref());
-                spec.layout = match c.layout {
-                    LayoutSpec::DefaultStripe => LayoutPolicy::DefaultStripe,
-                    LayoutSpec::PinnedPerFile => LayoutPolicy::PinnedPerFile,
-                };
-                spec.sieving = match c.sieving {
-                    SievingSpec::RomioDefault => SievingConfig::romio_default(),
-                    SievingSpec::Disabled => SievingConfig::disabled(),
-                };
-                spec.retry = match c.retry {
-                    RetrySpec::Default => RetryPolicy::default(),
-                    RetrySpec::Custom {
-                        max_attempts,
-                        base_backoff_us,
-                        max_backoff_us,
-                    } => RetryPolicy {
-                        max_attempts,
-                        base_backoff: Dur::from_micros(base_backoff_us),
-                        max_backoff: Dur::from_micros(max_backoff_us),
-                        timeout: None,
-                    },
-                };
-                spec.cpu_per_op = Dur::from_micros(c.cpu_per_op_us);
-                if let Some(f) = &c.fault {
-                    spec.fault = build_fault(f);
-                }
-                if let Some(clients) = c.clients {
-                    spec.clients = clients;
-                }
-                (c.label.clone(), spec)
-            })
-            .collect();
-        let fresh = exec.run_selected(&cases, &scale.seeds(), &selection);
+        let (fresh, failures) = if opts.supervised() {
+            run_cases_supervised(&resolved, &missing, &keys, scale, &selection, exec, opts)
+        } else {
+            let workloads: Vec<Box<dyn Workload>> = missing
+                .iter()
+                .map(|&i| build_workload(&resolved[i].workload, scale))
+                .collect::<Result<_, _>>()?;
+            let cases: Vec<(String, CaseSpec)> = missing
+                .iter()
+                .zip(&workloads)
+                .map(|(&i, w)| {
+                    (
+                        resolved[i].label.clone(),
+                        case_spec(&resolved[i], w.as_ref()),
+                    )
+                })
+                .collect();
+            let report = exec.run_reporting_selected(&cases, &scale.seeds(), &selection);
+            (report.points, report.failures)
+        };
+        for failure in &failures {
+            eprintln!("warning: sweep unit failed: {failure}");
+        }
+        crate::supervise::record_failures(failures);
         if memo_on {
             let mut cache = memo_cache().lock().expect("memo cache poisoned");
             for (&i, p) in missing.iter().zip(&fresh) {
@@ -674,16 +886,21 @@ pub fn violations(
     out
 }
 
-/// Parse a scenario from JSON text.
+/// Parse a scenario from JSON text. A malformed document reports the
+/// offending field (the deserializer wraps every field error with its
+/// name, so nested mistakes read `field `base`: field `workload`: ...`).
 pub fn load_str(json: &str) -> Result<Scenario, EngineError> {
     serde_json::from_str(json).map_err(|e| err(format!("invalid scenario JSON: {e}")))
 }
 
-/// Load a scenario from a JSON file.
+/// Load a scenario from a JSON file; every error names the file.
 pub fn load_path(path: &Path) -> Result<Scenario, EngineError> {
     let text = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {}: {e}", path.display())))?;
-    load_str(&text).map_err(|e| err(format!("{}: {e}", path.display())))
+        .map_err(|e| err_io(format!("cannot read {}: {e}", path.display())))?;
+    load_str(&text).map_err(|e| EngineError {
+        kind: e.kind,
+        msg: format!("{}: {e}", path.display()),
+    })
 }
 
 #[cfg(test)]
@@ -712,6 +929,7 @@ mod tests {
             base: CaseTemplate::new(StorageSpec::Hdd, iozone_template()),
             grid,
             metrics: Vec::new(),
+            deadline_ms: None,
             expect: Vec::new(),
             verdict: None,
         }
@@ -1075,6 +1293,7 @@ mod tests {
                     bps: 6400.0 / t,
                     exec_s: t,
                     extra: Vec::new(),
+                    failed: None,
                 }
             })
             .collect();

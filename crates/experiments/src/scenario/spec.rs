@@ -471,16 +471,22 @@ pub struct Scenario {
     /// omitted from serialized scenarios — means the paper four. Metrics
     /// named by `output` or `expect` are always computed in addition.
     pub metrics: Vec<String>,
+    /// Per-unit wall-clock deadline in milliseconds. A `(case, seed)` unit
+    /// running longer is detached and reported as a `Timeout` failure
+    /// instead of hanging the sweep. `None` — the default, and omitted
+    /// from serialized scenarios — means no scenario-level deadline;
+    /// when set it outranks the CLI's `--deadline-ms`.
+    pub deadline_ms: Option<u64>,
     /// Table-1 expected directions, checked by tests and `reproduce check`.
     pub expect: Vec<Expect>,
     /// Optional cross-metric verdict.
     pub verdict: Option<Verdict>,
 }
 
-// Hand-rolled (de)serialization because `metrics` is optional on the wire:
-// an empty selection is omitted when writing (so serialized scenarios are
-// byte-identical to the pre-`metrics` format) and defaults to empty when
-// absent (so every existing scenario file keeps parsing).
+// Hand-rolled (de)serialization because `metrics` and `deadline_ms` are
+// optional on the wire: an empty/absent value is omitted when writing (so
+// serialized scenarios are byte-identical to the pre-extension formats)
+// and defaults when absent (so every existing scenario file keeps parsing).
 impl Serialize for Scenario {
     fn to_value(&self) -> serde::Value {
         let mut pairs = vec![
@@ -493,6 +499,9 @@ impl Serialize for Scenario {
         if !self.metrics.is_empty() {
             pairs.push(("metrics".to_string(), self.metrics.to_value()));
         }
+        if let Some(ms) = self.deadline_ms {
+            pairs.push(("deadline_ms".to_string(), ms.to_value()));
+        }
         pairs.push(("expect".to_string(), self.expect.to_value()));
         pairs.push(("verdict".to_string(), self.verdict.to_value()));
         serde::Value::Object(pairs)
@@ -501,18 +510,27 @@ impl Serialize for Scenario {
 
 impl Deserialize for Scenario {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        // Name the offending field, like the derived impls do, so a deep
+        // error reads as a path from the scenario root.
+        fn ctx<T>(field: &str, r: Result<T, serde::Error>) -> Result<T, serde::Error> {
+            r.map_err(|e| serde::Error(format!("field `{field}`: {e}")))
+        }
         Ok(Scenario {
-            name: Deserialize::from_value(v.field("name")?)?,
-            title: Deserialize::from_value(v.field("title")?)?,
-            output: Deserialize::from_value(v.field("output")?)?,
-            base: Deserialize::from_value(v.field("base")?)?,
-            grid: Deserialize::from_value(v.field("grid")?)?,
+            name: ctx("name", Deserialize::from_value(v.field("name")?))?,
+            title: ctx("title", Deserialize::from_value(v.field("title")?))?,
+            output: ctx("output", Deserialize::from_value(v.field("output")?))?,
+            base: ctx("base", Deserialize::from_value(v.field("base")?))?,
+            grid: ctx("grid", Deserialize::from_value(v.field("grid")?))?,
             metrics: match v.field("metrics")? {
                 serde::Value::Null => Vec::new(),
-                other => Deserialize::from_value(other)?,
+                other => ctx("metrics", Deserialize::from_value(other))?,
             },
-            expect: Deserialize::from_value(v.field("expect")?)?,
-            verdict: Deserialize::from_value(v.field("verdict")?)?,
+            deadline_ms: ctx(
+                "deadline_ms",
+                Deserialize::from_value(v.field("deadline_ms")?),
+            )?,
+            expect: ctx("expect", Deserialize::from_value(v.field("expect")?))?,
+            verdict: ctx("verdict", Deserialize::from_value(v.field("verdict")?))?,
         })
     }
 }
@@ -590,19 +608,27 @@ mod tests {
                 ),
             ]),
             metrics: Vec::new(),
+            deadline_ms: None,
             expect: vec![Expect::correct("BPS", 0.7), Expect::wrong("IOPS")],
             verdict: Some(Verdict::BpsStrictlyHighest),
         };
         let json = serde_json::to_string_pretty(&sc).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back, sc);
-        // The empty default is omitted on the wire, so pre-existing
+        // The empty defaults are omitted on the wire, so pre-existing
         // scenario files (and their goldens) are untouched.
         assert!(!json.contains("\"metrics\""));
+        assert!(!json.contains("\"deadline_ms\""));
         let mut with_metrics = sc.clone();
         with_metrics.metrics = vec!["BPS".into(), "p99".into()];
         let json = serde_json::to_string_pretty(&with_metrics).unwrap();
         let back: Scenario = serde_json::from_str(&json).unwrap();
         assert_eq!(back, with_metrics);
+        let mut with_deadline = sc.clone();
+        with_deadline.deadline_ms = Some(2500);
+        let json = serde_json::to_string_pretty(&with_deadline).unwrap();
+        assert!(json.contains("\"deadline_ms\": 2500"));
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with_deadline);
     }
 }

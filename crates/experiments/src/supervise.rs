@@ -1,0 +1,651 @@
+//! Supervised unit execution: failure taxonomy, per-unit deadlines, and
+//! the failure-budget circuit breaker.
+//!
+//! A sweep is `cases × seeds` independent units. The plain
+//! [`SweepExec`](crate::sweep::SweepExec) path already isolates panics;
+//! this module generalizes that into a full supervised layer used
+//! whenever a run asks for a journal, a deadline, or a failure budget:
+//!
+//! * every unit failure is classified into a [`FailureKind`]
+//!   (`Panic | Timeout | InvalidSpec | Io`) and carried as a
+//!   [`UnitFailure`] through the sweep report, the CC "why n/a" rows,
+//!   and the `reproduce` exit code;
+//! * [`run_supervised`] executes units on worker threads while the
+//!   calling thread acts as a watchdog: a unit that overruns its
+//!   wall-clock deadline is marked `Timeout` and *detached* (its wedged
+//!   worker is never joined; a replacement worker keeps the pool full),
+//!   so one pathological case degrades the sweep instead of hanging it;
+//! * a `--max-failures N` budget aborts the whole run once more than
+//!   `N` units have failed;
+//! * a SIGINT sets [`request_interrupt`]; the supervisor notices between
+//!   units, stops dispatching, and exits with the journal flushed and
+//!   the exact `resume` command printed.
+//!
+//! The failure ledger ([`record_failures`] / [`take_recorded_failures`])
+//! is how the CLI learns, at the end of a run that spanned many figures,
+//! which failure classes occurred — each class maps to a distinct
+//! documented exit code.
+
+use crate::runner::UnitValues;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Why a `(case, seed)` unit failed to produce metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The unit panicked (a poisoned workload, a tripped invariant).
+    Panic,
+    /// The unit overran its wall-clock deadline and was detached.
+    Timeout,
+    /// The unit's spec could not be built into a runnable workload.
+    InvalidSpec,
+    /// An I/O error (unreadable scenario file, unwritable output).
+    Io,
+}
+
+impl FailureKind {
+    /// Stable lowercase name used in reports, CSV annotations, and the
+    /// journal.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Timeout => "timeout",
+            FailureKind::InvalidSpec => "invalid-spec",
+            FailureKind::Io => "io",
+        }
+    }
+
+    /// The `reproduce` exit code for this class of failure (documented in
+    /// the CLI usage text): invalid-spec 3, io 4, panic 5, timeout 6.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            FailureKind::InvalidSpec => 3,
+            FailureKind::Io => 4,
+            FailureKind::Panic => 5,
+            FailureKind::Timeout => 6,
+        }
+    }
+
+    /// Severity order for picking one representative kind out of a mixed
+    /// set of failures: panic outranks timeout outranks invalid-spec
+    /// outranks io.
+    fn severity(self) -> u8 {
+        match self {
+            FailureKind::Panic => 3,
+            FailureKind::Timeout => 2,
+            FailureKind::InvalidSpec => 1,
+            FailureKind::Io => 0,
+        }
+    }
+
+    /// The most severe kind among `kinds` (`None` on an empty iterator).
+    pub fn worst(kinds: impl IntoIterator<Item = FailureKind>) -> Option<FailureKind> {
+        kinds.into_iter().max_by_key(|k| k.severity())
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One `(case, seed)` unit that failed instead of producing metrics.
+#[derive(Debug, Clone)]
+pub struct UnitFailure {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Label of the case the unit belonged to.
+    pub case: String,
+    /// The seed the unit was running.
+    pub seed: u64,
+    /// Human-readable detail: the panic payload, the deadline overrun,
+    /// the build error.
+    pub detail: String,
+}
+
+impl std::fmt::Display for UnitFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "case {} seed {} [{}]: {}",
+            self.case, self.seed, self.kind, self.detail
+        )
+    }
+}
+
+/// Stringify a panic payload (`panic!` with a literal gives `&str`, with a
+/// format string gives `String`; anything else is opaque).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide run policy (CLI flags), interrupt flag, and failure ledger.
+// ---------------------------------------------------------------------------
+
+/// Per-unit wall-clock deadline in milliseconds; 0 means "not set".
+static DEADLINE_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Failure budget; `usize::MAX` means "not set".
+static MAX_FAILURES: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Set when the process received SIGINT/SIGTERM; checked between units.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Install (or clear, with `None`) the CLI `--deadline-ms` per-unit
+/// deadline. A scenario's own `deadline_ms` field outranks it, mirroring
+/// how a scenario's `metrics` list outranks `--metrics`.
+pub fn set_deadline_override(ms: Option<u64>) {
+    DEADLINE_MS.store(ms.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The CLI per-unit deadline, if one was installed.
+pub fn deadline_override() -> Option<u64> {
+    match DEADLINE_MS.load(Ordering::Relaxed) {
+        0 => None,
+        ms => Some(ms),
+    }
+}
+
+/// Install (or clear, with `None`) the CLI `--max-failures` budget: a run
+/// aborts (exit code 7) once its unit-failure count exceeds the budget.
+pub fn set_max_failures(budget: Option<usize>) {
+    MAX_FAILURES.store(budget.unwrap_or(usize::MAX), Ordering::Relaxed);
+}
+
+/// The CLI failure budget, if one was installed.
+pub fn max_failures() -> Option<usize> {
+    match MAX_FAILURES.load(Ordering::Relaxed) {
+        usize::MAX => None,
+        n => Some(n),
+    }
+}
+
+/// Mark the process interrupted (called from the SIGINT handler; an
+/// atomic store is async-signal-safe). The supervisor notices between
+/// units and shuts the run down with the journal flushed.
+pub fn request_interrupt() {
+    INTERRUPTED.store(true, Ordering::Relaxed);
+}
+
+/// Whether an interrupt has been requested.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+fn resume_hint_slot() -> &'static Mutex<Option<String>> {
+    static HINT: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    HINT.get_or_init(Default::default)
+}
+
+/// Remember the exact command that resumes the current journaled run, so
+/// an interrupt or a budget abort can print it.
+pub fn set_resume_hint(cmd: Option<String>) {
+    *resume_hint_slot().lock().expect("resume hint poisoned") = cmd;
+}
+
+/// The resume command remembered by [`set_resume_hint`].
+pub fn resume_hint() -> Option<String> {
+    resume_hint_slot()
+        .lock()
+        .expect("resume hint poisoned")
+        .clone()
+}
+
+fn ledger() -> &'static Mutex<Vec<UnitFailure>> {
+    static LEDGER: OnceLock<Mutex<Vec<UnitFailure>>> = OnceLock::new();
+    LEDGER.get_or_init(Default::default)
+}
+
+/// Append unit failures to the process-wide ledger the CLI drains at the
+/// end of a run to pick its exit code.
+pub fn record_failures(failures: impl IntoIterator<Item = UnitFailure>) {
+    ledger()
+        .lock()
+        .expect("failure ledger poisoned")
+        .extend(failures);
+}
+
+/// Drain the failure ledger.
+pub fn take_recorded_failures() -> Vec<UnitFailure> {
+    std::mem::take(&mut *ledger().lock().expect("failure ledger poisoned"))
+}
+
+/// Exit because the run was interrupted: the journal is already flushed
+/// (every unit line is written and flushed as it completes), so all that
+/// remains is to tell the user how to pick the run back up.
+fn exit_interrupted() -> ! {
+    eprintln!("interrupted: journal flushed; completed units are safe");
+    if let Some(hint) = resume_hint() {
+        eprintln!("resume with: {hint}");
+    }
+    std::process::exit(130);
+}
+
+/// Exit because the failure budget was exceeded.
+fn exit_budget(failed: usize, budget: usize) -> ! {
+    eprintln!("error: failure budget exceeded: {failed} unit failure(s) > --max-failures {budget}");
+    if let Some(hint) = resume_hint() {
+        eprintln!("completed units are journaled; resume with: {hint}");
+    }
+    std::process::exit(7);
+}
+
+// ---------------------------------------------------------------------------
+// Test-only failure injection.
+// ---------------------------------------------------------------------------
+
+/// Deterministic failure injection for tests and CI, keyed by case label:
+/// `BPS_TEST_UNIT_PANIC=<substr>` panics every unit whose case label
+/// contains `<substr>`; `BPS_TEST_UNIT_STALL=<substr>:<ms>` makes matching
+/// units sleep `<ms>` milliseconds first (an empty `<substr>` matches every
+/// unit). Unset in normal operation; simulated results are never altered,
+/// only delayed or aborted.
+pub fn apply_test_hooks(label: &str) {
+    if let Ok(spec) = std::env::var("BPS_TEST_UNIT_PANIC") {
+        if label.contains(&spec) {
+            panic!("BPS_TEST_UNIT_PANIC injected panic for case `{label}`");
+        }
+    }
+    if let Ok(spec) = std::env::var("BPS_TEST_UNIT_STALL") {
+        if let Some((substr, ms)) = spec.rsplit_once(':') {
+            if let Ok(ms) = ms.parse::<u64>() {
+                if label.contains(substr) {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The supervised executor.
+// ---------------------------------------------------------------------------
+
+/// The work of one unit: produce its captured metric values or a
+/// classified failure. `'static` + `Send + Sync` so a wedged unit can be
+/// detached without tearing down borrowed state.
+pub type UnitWork = Arc<dyn Fn() -> Result<UnitValues, (FailureKind, String)> + Send + Sync>;
+
+/// One schedulable `(case, seed)` unit.
+pub struct UnitTask {
+    /// Case label, for failure reports.
+    pub label: String,
+    /// The seed this unit runs.
+    pub seed: u64,
+    /// Journal key (empty when the run is not journaled).
+    pub key: String,
+    /// The unit's work.
+    pub work: UnitWork,
+}
+
+/// Outcome of one supervised unit.
+#[derive(Debug, Clone)]
+pub enum UnitOutcome {
+    /// The unit completed; its captured per-seed values.
+    Done(UnitValues),
+    /// The unit failed.
+    Failed(FailureKind, String),
+}
+
+enum SlotState {
+    Pending,
+    Running(Instant),
+    Done(UnitOutcome),
+}
+
+struct Shared {
+    tasks: Vec<UnitTask>,
+    next: AtomicUsize,
+    slots: Vec<Mutex<SlotState>>,
+    done: Mutex<usize>,
+    cv: Condvar,
+    halt: AtomicBool,
+    failures: AtomicUsize,
+}
+
+/// Completion callback of [`run_supervised`]: invoked with every healthy
+/// unit *before* it is counted done (the journal-before-done ordering).
+pub type OnDone = dyn Fn(&UnitTask, &UnitValues) + Send + Sync;
+
+fn run_unit(task: &UnitTask, on_done: &OnDone) -> UnitOutcome {
+    let out = match catch_unwind(AssertUnwindSafe(|| (task.work)())) {
+        Ok(Ok(values)) => UnitOutcome::Done(values),
+        Ok(Err((kind, detail))) => UnitOutcome::Failed(kind, detail),
+        Err(payload) => UnitOutcome::Failed(FailureKind::Panic, panic_message(payload)),
+    };
+    if let UnitOutcome::Done(values) = &out {
+        // Journal before reporting completion, so "all units done" implies
+        // "all units journaled" — a kill can lose at most in-flight units.
+        on_done(task, values);
+    }
+    out
+}
+
+fn worker(shared: &Shared, on_done: &OnDone) {
+    loop {
+        if shared.halt.load(Ordering::Relaxed) {
+            return;
+        }
+        let i = shared.next.fetch_add(1, Ordering::Relaxed);
+        if i >= shared.tasks.len() {
+            return;
+        }
+        *shared.slots[i].lock().expect("slot poisoned") = SlotState::Running(Instant::now());
+        let out = run_unit(&shared.tasks[i], on_done);
+        let mut slot = shared.slots[i].lock().expect("slot poisoned");
+        if matches!(*slot, SlotState::Done(_)) {
+            // The supervisor already timed this unit out; its late result
+            // is journaled (harmless — the journal is content-keyed) but
+            // the run's outcome stays Timeout.
+            continue;
+        }
+        if matches!(out, UnitOutcome::Failed(..)) {
+            shared.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        *slot = SlotState::Done(out);
+        drop(slot);
+        *shared.done.lock().expect("done count poisoned") += 1;
+        shared.cv.notify_all();
+    }
+}
+
+/// Execute `tasks` under supervision and return one outcome per task, in
+/// task order. `threads` workers claim tasks from a shared counter (same
+/// work-stealing shape as [`SweepExec`](crate::sweep::SweepExec), so the
+/// set of executed units is identical at any thread count); the calling
+/// thread watches the clock. A unit running past `deadline` is marked
+/// [`FailureKind::Timeout`] and detached — its worker thread is never
+/// joined, and a replacement worker keeps the pool at full strength. The
+/// process exits (with the journal flushed and the resume command
+/// printed) if the run is interrupted or more than `max_failures` units
+/// fail.
+pub fn run_supervised(
+    tasks: Vec<UnitTask>,
+    threads: usize,
+    deadline: Option<Duration>,
+    max_failures: Option<usize>,
+    on_done: Arc<OnDone>,
+) -> Vec<UnitOutcome> {
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Inline path: single worker, no watchdog needed. Deterministic task
+    // order, zero threads spawned — the shape `BPS_THREADS=1` runs take.
+    if threads <= 1 && deadline.is_none() {
+        let mut out = Vec::with_capacity(n);
+        let mut failed = 0usize;
+        for task in &tasks {
+            if interrupted() {
+                exit_interrupted();
+            }
+            let outcome = run_unit(task, on_done.as_ref());
+            if matches!(outcome, UnitOutcome::Failed(..)) {
+                failed += 1;
+                if let Some(budget) = max_failures {
+                    if failed > budget {
+                        exit_budget(failed, budget);
+                    }
+                }
+            }
+            out.push(outcome);
+        }
+        return out;
+    }
+
+    let shared = Arc::new(Shared {
+        slots: (0..n).map(|_| Mutex::new(SlotState::Pending)).collect(),
+        tasks,
+        next: AtomicUsize::new(0),
+        done: Mutex::new(0),
+        cv: Condvar::new(),
+        halt: AtomicBool::new(false),
+        failures: AtomicUsize::new(0),
+    });
+    let workers = threads.clamp(1, n);
+    let mut handles = Vec::with_capacity(workers);
+    let spawn_worker = |handles: &mut Vec<std::thread::JoinHandle<()>>| {
+        let shared = shared.clone();
+        let on_done = on_done.clone();
+        handles.push(std::thread::spawn(move || {
+            worker(&shared, on_done.as_ref())
+        }));
+    };
+    for _ in 0..workers {
+        spawn_worker(&mut handles);
+    }
+
+    loop {
+        {
+            let done = shared.done.lock().expect("done count poisoned");
+            if *done >= n {
+                break;
+            }
+            // Wake on unit completion or every 20 ms to scan the clock.
+            let _ = shared
+                .cv
+                .wait_timeout(done, Duration::from_millis(20))
+                .expect("done count poisoned");
+        }
+        if interrupted() {
+            shared.halt.store(true, Ordering::Relaxed);
+            exit_interrupted();
+        }
+        if let Some(budget) = max_failures {
+            let failed = shared.failures.load(Ordering::Relaxed);
+            if failed > budget {
+                shared.halt.store(true, Ordering::Relaxed);
+                exit_budget(failed, budget);
+            }
+        }
+        if let Some(deadline) = deadline {
+            for i in 0..n {
+                let mut slot = shared.slots[i].lock().expect("slot poisoned");
+                if let SlotState::Running(started) = *slot {
+                    if started.elapsed() >= deadline {
+                        *slot = SlotState::Done(UnitOutcome::Failed(
+                            FailureKind::Timeout,
+                            format!("exceeded per-unit deadline of {} ms", deadline.as_millis()),
+                        ));
+                        drop(slot);
+                        shared.failures.fetch_add(1, Ordering::Relaxed);
+                        *shared.done.lock().expect("done count poisoned") += 1;
+                        // The worker stuck on this unit is detached, never
+                        // joined; a replacement keeps the pool full.
+                        spawn_worker(&mut handles);
+                    }
+                }
+            }
+        }
+    }
+    // Stop idle workers and join only those that actually finished — a
+    // detached worker wedged inside a timed-out unit is left behind.
+    shared.halt.store(true, Ordering::Relaxed);
+    for h in handles {
+        if h.is_finished() {
+            let _ = h.join();
+        }
+    }
+    let shared = match Arc::try_unwrap(shared) {
+        Ok(s) => s,
+        Err(shared) => {
+            // Detached workers still hold the Arc; copy the outcomes out.
+            return shared
+                .slots
+                .iter()
+                .map(|s| match &*s.lock().expect("slot poisoned") {
+                    SlotState::Done(out) => out.clone(),
+                    _ => unreachable!("supervisor returned before all units were done"),
+                })
+                .collect();
+        }
+    };
+    shared
+        .slots
+        .into_iter()
+        .map(|s| match s.into_inner().expect("slot poisoned") {
+            SlotState::Done(out) => out,
+            _ => unreachable!("supervisor returned before all units were done"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_task(label: &str, seed: u64, v: f64) -> UnitTask {
+        UnitTask {
+            label: label.to_string(),
+            seed,
+            key: String::new(),
+            work: Arc::new(move || {
+                Ok(UnitValues {
+                    iops: Some(v),
+                    bw: Some(v),
+                    arpt: Some(v),
+                    bps: Some(v),
+                    exec_s: v,
+                    extra: Vec::new(),
+                })
+            }),
+        }
+    }
+
+    #[test]
+    fn worst_kind_prefers_panic_then_timeout() {
+        use FailureKind::*;
+        assert_eq!(
+            FailureKind::worst([Io, Timeout, InvalidSpec]),
+            Some(Timeout)
+        );
+        assert_eq!(FailureKind::worst([Timeout, Panic]), Some(Panic));
+        assert_eq!(FailureKind::worst([]), None);
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_documented() {
+        use FailureKind::*;
+        let codes: Vec<i32> = [Panic, Timeout, InvalidSpec, Io]
+            .iter()
+            .map(|k| k.exit_code())
+            .collect();
+        assert_eq!(codes, vec![5, 6, 3, 4]);
+    }
+
+    #[test]
+    fn outcomes_come_back_in_task_order_at_any_thread_count() {
+        for threads in [1, 4] {
+            let tasks: Vec<UnitTask> = (0..10)
+                .map(|i| ok_task(&format!("t{i}"), i, i as f64))
+                .collect();
+            let out = run_supervised(tasks, threads, None, None, Arc::new(|_, _| {}));
+            assert_eq!(out.len(), 10);
+            for (i, o) in out.iter().enumerate() {
+                match o {
+                    UnitOutcome::Done(v) => assert_eq!(v.exec_s, i as f64),
+                    other => panic!("unit {i}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_unit_is_classified_not_fatal() {
+        let mut tasks = vec![ok_task("ok", 1, 1.0)];
+        tasks.push(UnitTask {
+            label: "bad".into(),
+            seed: 2,
+            key: String::new(),
+            work: Arc::new(|| panic!("injected supervise panic")),
+        });
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_supervised(tasks, 2, None, None, Arc::new(|_, _| {}));
+        std::panic::set_hook(prev);
+        assert!(matches!(out[0], UnitOutcome::Done(_)));
+        match &out[1] {
+            UnitOutcome::Failed(FailureKind::Panic, detail) => {
+                assert!(detail.contains("injected supervise panic"), "{detail}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overrunning_unit_times_out_instead_of_hanging() {
+        let mut tasks = vec![ok_task("fast", 1, 1.0)];
+        tasks.push(UnitTask {
+            label: "stuck".into(),
+            seed: 2,
+            key: String::new(),
+            work: Arc::new(|| {
+                std::thread::sleep(Duration::from_secs(30));
+                Ok(UnitValues {
+                    iops: None,
+                    bw: None,
+                    arpt: None,
+                    bps: None,
+                    exec_s: 0.0,
+                    extra: Vec::new(),
+                })
+            }),
+        });
+        tasks.push(ok_task("after", 3, 3.0));
+        let started = Instant::now();
+        let out = run_supervised(
+            tasks,
+            2,
+            Some(Duration::from_millis(80)),
+            None,
+            Arc::new(|_, _| {}),
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "sweep hung on the stuck unit"
+        );
+        assert!(matches!(out[0], UnitOutcome::Done(_)));
+        match &out[1] {
+            UnitOutcome::Failed(FailureKind::Timeout, detail) => {
+                assert!(detail.contains("deadline"), "{detail}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The unit behind the stuck one still ran (replacement worker).
+        assert!(matches!(out[2], UnitOutcome::Done(_)));
+    }
+
+    #[test]
+    fn on_done_sees_every_completed_unit() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let tasks: Vec<UnitTask> = (0..6)
+            .map(|i| {
+                let mut t = ok_task(&format!("t{i}"), i, i as f64);
+                t.key = format!("k{i}");
+                t
+            })
+            .collect();
+        let out = run_supervised(
+            tasks,
+            3,
+            None,
+            None,
+            Arc::new(move |task, _| sink.lock().unwrap().push(task.key.clone())),
+        );
+        assert_eq!(out.len(), 6);
+        let mut keys = seen.lock().unwrap().clone();
+        keys.sort();
+        assert_eq!(keys, vec!["k0", "k1", "k2", "k3", "k4", "k5"]);
+    }
+}

@@ -15,55 +15,24 @@
 //! the calling thread.
 
 use crate::runner::{run_case_streaming_selected, CasePoint, CaseSpec};
+use crate::supervise::{panic_message, FailureKind, UnitFailure};
 use bps_core::metrics::MetricSelection;
 use bps_core::sink::StreamingMetrics;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// One `(case, seed)` unit that panicked instead of producing metrics.
-#[derive(Debug, Clone)]
-pub struct SweepFailure {
-    /// Label of the case whose unit panicked.
-    pub case: String,
-    /// The seed the unit was running.
-    pub seed: u64,
-    /// The panic payload, stringified.
-    pub panic: String,
-}
-
-impl std::fmt::Display for SweepFailure {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "case {} seed {} panicked: {}",
-            self.case, self.seed, self.panic
-        )
-    }
-}
-
-/// Outcome of a panic-isolating sweep: one point per case (averaged over
-/// the seeds that completed) plus every unit that panicked. A case whose
-/// seeds all panicked still gets a point — with NaN metrics — so the
-/// output stays positionally aligned with the input cases.
+/// Outcome of a failure-isolating sweep: one point per case (averaged
+/// over the seeds that completed) plus every unit that failed, classified
+/// by [`FailureKind`]. A case whose seeds all failed still gets a point —
+/// with NaN metrics and [`CasePoint::failed`] set — so the output stays
+/// positionally aligned with the input cases.
 #[derive(Debug)]
 pub struct SweepReport {
     /// One point per input case, in input order.
     pub points: Vec<CasePoint>,
-    /// Every unit that panicked, in `(case, seed)` order.
-    pub failures: Vec<SweepFailure>,
-}
-
-/// Stringify a panic payload (`panic!` with a literal gives `&str`, with a
-/// format string gives `String`; anything else is opaque).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
+    /// Every unit that failed, in `(case, seed)` order.
+    pub failures: Vec<UnitFailure>,
 }
 
 /// Process-wide thread-count override; 0 means "not set". Installed by
@@ -185,7 +154,7 @@ impl SweepExec {
     /// [`Self::run`], but each `(case, seed)` unit runs under
     /// `catch_unwind`: one poisoned case (a panicking workload, a config
     /// that trips an internal invariant) yields NaN metrics and a recorded
-    /// [`SweepFailure`] instead of tearing down the entire sweep — in both
+    /// [`UnitFailure`] instead of tearing down the entire sweep — in both
     /// the inline and the threaded execution paths. Units that complete
     /// average exactly as in a failure-free run.
     pub fn run_reporting(&self, cases: &[(String, CaseSpec<'_>)], seeds: &[u64]) -> SweepReport {
@@ -204,6 +173,7 @@ impl SweepExec {
         let runs: Vec<Result<StreamingMetrics, String>> = self.run_indexed(units, |i| {
             let (ci, si) = (i / seeds.len(), i % seeds.len());
             catch_unwind(AssertUnwindSafe(|| {
+                crate::supervise::apply_test_hooks(&cases[ci].0);
                 run_case_streaming_selected(&cases[ci].1, seeds[si], selection)
             }))
             .map_err(panic_message)
@@ -213,21 +183,26 @@ impl SweepExec {
         let mut runs = runs.into_iter();
         for (label, _) in cases {
             let mut survived = Vec::with_capacity(seeds.len());
+            let mut case_failed = false;
             for &seed in seeds {
                 match runs.next().expect("one run per (case, seed) unit") {
                     Ok(metrics) => survived.push(metrics),
-                    Err(panic) => failures.push(SweepFailure {
-                        case: label.clone(),
-                        seed,
-                        panic,
-                    }),
+                    Err(detail) => {
+                        case_failed = true;
+                        failures.push(UnitFailure {
+                            kind: FailureKind::Panic,
+                            case: label.clone(),
+                            seed,
+                            detail,
+                        });
+                    }
                 }
             }
-            points.push(CasePoint::from_runs_selected(
-                label.clone(),
-                &survived,
-                selection,
-            ));
+            let mut point = CasePoint::from_runs_selected(label.clone(), &survived, selection);
+            if survived.is_empty() && case_failed {
+                point.failed = Some(FailureKind::Panic);
+            }
+            points.push(point);
         }
         SweepReport { points, failures }
     }
@@ -376,16 +351,20 @@ mod tests {
         assert_eq!(report.points.len(), 2);
         assert_eq!(report.points[0].label, "ok");
         assert_eq!(report.points[1].label, "bad");
-        // The healthy case is unaffected; the poisoned one reports NaN.
+        // The healthy case is unaffected; the poisoned one reports NaN
+        // and carries its failure class.
         assert!(report.points[0].bps.is_finite());
+        assert!(report.points[0].failed.is_none());
         assert!(report.points[1].bps.is_nan());
         assert!(report.points[1].exec_s.is_nan());
-        // Every poisoned unit is reported with its seed and payload.
+        assert_eq!(report.points[1].failed, Some(FailureKind::Panic));
+        // Every poisoned unit is reported with its seed, class, and payload.
         assert_eq!(report.failures.len(), seeds.len());
         for (f, &seed) in report.failures.iter().zip(&seeds) {
             assert_eq!(f.case, "bad");
             assert_eq!(f.seed, seed);
-            assert!(f.panic.contains("injected test panic"), "{}", f.panic);
+            assert_eq!(f.kind, FailureKind::Panic);
+            assert!(f.detail.contains("injected test panic"), "{}", f.detail);
         }
     }
 

@@ -296,10 +296,26 @@ fn check_rejects_malformed_json_with_the_path_named() {
     let path = dir.join("broken.json");
     std::fs::write(&path, "{not json").unwrap();
     let out = reproduce(&["check", path.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(1));
+    // Invalid scenario content is its own exit class (3), distinct from
+    // the generic 1.
+    assert_eq!(out.status.code(), Some(3));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("broken.json"), "{err}");
     assert!(err.contains("invalid scenario JSON"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn check_names_the_offending_field_on_a_type_mismatch() {
+    let dir = std::env::temp_dir().join("bps_cli_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("badfield.json");
+    std::fs::write(&path, "{\"name\": \"x\", \"title\": 3}").unwrap();
+    let out = reproduce(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("badfield.json"), "{err}");
+    assert!(err.contains("field `title`"), "{err}");
     std::fs::remove_file(&path).ok();
 }
 

@@ -1,0 +1,232 @@
+//! Integration tests for the supervised-run machinery of `reproduce`:
+//! journaled checkpoint/resume (including a real SIGKILL mid-sweep),
+//! per-unit deadlines, and the failure-class exit codes. Failure
+//! injection uses the `BPS_TEST_UNIT_PANIC` / `BPS_TEST_UNIT_STALL`
+//! hooks, which are inert unless set.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}.txt"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn reproduce(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_reproduce"));
+    cmd.args(args).env("BPS_THREADS", "1");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn reproduce")
+}
+
+fn unique_journal() -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "bps_cli_robust_{}_{}.jsonl",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[test]
+fn journaled_run_matches_golden_and_resume_replays_it() {
+    let journal = unique_journal();
+    let out = reproduce(
+        &["fig4", "--tiny", "--journal", journal.to_str().unwrap()],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), golden("fig4"));
+    let lines = std::fs::read_to_string(&journal).unwrap();
+    assert!(
+        lines
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"unit\""))
+            .count()
+            > 0,
+        "journal recorded no units"
+    );
+
+    // Resume of a finished journal replays everything — same bytes, at a
+    // different thread count.
+    let out = reproduce(
+        &["resume", journal.to_str().unwrap(), "--threads", "4"],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), golden("fig4"));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("resuming from"), "{err}");
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn sigkill_mid_sweep_then_resume_is_byte_identical_to_the_golden() {
+    let journal = unique_journal();
+    // Stall every pvfs unit 200 ms so the kill lands mid-sweep.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(["fig4", "--tiny", "--journal", journal.to_str().unwrap()])
+        .env("BPS_THREADS", "1")
+        .env("BPS_TEST_UNIT_STALL", "pvfs:200")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn reproduce");
+    // Wait until at least one unit hit the journal, then SIGKILL.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let units = std::fs::read_to_string(&journal)
+            .map(|s| s.matches("\"kind\":\"unit\"").count())
+            .unwrap_or(0);
+        if units >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "journal never accumulated units"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    child.kill().expect("kill reproduce");
+    child.wait().expect("reap reproduce");
+
+    // The journal survived the SIGKILL with at least the finished units;
+    // resume completes the run and reproduces the golden bytes exactly,
+    // at 1 and at 4 threads.
+    for threads in ["1", "4"] {
+        let out = reproduce(
+            &["resume", journal.to_str().unwrap(), "--threads", threads],
+            &[],
+        );
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "resume --threads {threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            golden("fig4"),
+            "resume --threads {threads} drifted from the golden"
+        );
+    }
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn forced_panic_exits_5_and_names_the_kind() {
+    let out = reproduce(&["fig4", "--tiny"], &[("BPS_TEST_UNIT_PANIC", "pvfs-3")]);
+    assert_eq!(out.status.code(), Some(5));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[panic]"), "{err}");
+    assert!(err.contains("unit(s) failed"), "{err}");
+    // The report still renders, with the failed case annotated.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pvfs-3 [panic]"), "{stdout}");
+}
+
+#[test]
+fn deadline_overrun_exits_6_not_hangs() {
+    // Every pvfs-3 unit stalls 60 s; a 100 ms deadline must detach it and
+    // report Timeout well before the stall would finish.
+    let start = std::time::Instant::now();
+    let out = reproduce(
+        &["fig4", "--tiny", "--deadline-ms", "100"],
+        &[("BPS_TEST_UNIT_STALL", "pvfs-3:60000")],
+    );
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "deadline did not prevent the hang"
+    );
+    assert_eq!(out.status.code(), Some(6));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[timeout]"), "{err}");
+    assert!(err.contains("exceeded per-unit deadline"), "{err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pvfs-3 [timeout]"), "{stdout}");
+}
+
+#[test]
+fn panic_outranks_timeout_in_the_exit_code() {
+    // Both kinds occur; the exit code reports the severest (panic = 5).
+    let out = reproduce(
+        &["fig4", "--tiny", "--deadline-ms", "100"],
+        &[
+            ("BPS_TEST_UNIT_PANIC", "pvfs-2"),
+            ("BPS_TEST_UNIT_STALL", "pvfs-3:60000"),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(5));
+}
+
+#[test]
+fn failure_budget_exceeded_exits_7_with_resume_hint() {
+    let journal = unique_journal();
+    let out = reproduce(
+        &[
+            "fig4",
+            "--tiny",
+            "--max-failures",
+            "0",
+            "--journal",
+            journal.to_str().unwrap(),
+        ],
+        &[("BPS_TEST_UNIT_PANIC", "pvfs")],
+    );
+    assert_eq!(out.status.code(), Some(7));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("failure budget exceeded"), "{err}");
+    assert!(err.contains("reproduce resume"), "{err}");
+    std::fs::remove_file(&journal).ok();
+}
+
+#[test]
+fn resume_of_a_missing_journal_exits_4() {
+    let out = reproduce(&["resume", "/nonexistent/journal.jsonl"], &[]);
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot resume"), "{err}");
+}
+
+#[test]
+fn scenario_deadline_outranks_the_flag() {
+    // Scenario pins a generous 60 s deadline; the CLI asks for 100 ms.
+    // The scenario wins, so the 300 ms stall completes and exits 0.
+    let dir = std::env::temp_dir().join("bps_cli_robust_scenarios");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("deadline.json");
+    let sc = r#"{
+  "name": "deadline-demo",
+  "title": "scenario deadline outranks the flag",
+  "output": "Cc",
+  "base": {
+    "storage": {"Pvfs": {"servers": 2}},
+    "workload": {"Iozone": {"mode": "SeqRead", "file_size": {"Abs": {"n": 65536}},
+                  "record_size": {"Abs": {"n": 4096}}, "processes": 1, "seed": 0}}
+  },
+  "grid": {"dims": [[{"label": "a", "patch": {}}]]},
+  "deadline_ms": 60000,
+  "expect": []
+}"#;
+    std::fs::write(&path, sc).unwrap();
+    let out = reproduce(
+        &[
+            "run",
+            path.to_str().unwrap(),
+            "--tiny",
+            "--deadline-ms",
+            "100",
+        ],
+        &[("BPS_TEST_UNIT_STALL", "a:300")],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -128,6 +128,7 @@ fn grid_scenario(
         ),
         grid: Grid { dims },
         metrics: Vec::new(),
+        deadline_ms: None,
         expect: vec![Expect::correct_direction("BPS")],
         verdict: None,
     }

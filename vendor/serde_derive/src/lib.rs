@@ -258,9 +258,18 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = &item.name;
     let body = match &item.shape {
         Shape::Named(fields) => {
+            // Each field chains its name onto any error bubbling out of
+            // its value, so a deep failure reads like a path:
+            // "field `base`: field `workload`: unknown ... variant".
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"))
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)\
+                             .map_err(|e| ::serde::Error(\
+                                 ::std::format!(\"field `{f}`: {{}}\", e.0)))?,"
+                    )
+                })
                 .collect();
             format!("Ok({name} {{ {} }})", inits.join(" "))
         }
@@ -295,7 +304,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             .map(|f| {
                                 format!(
                                     "{f}: ::serde::Deserialize::from_value(\
-                                         inner.field(\"{f}\")?)?,"
+                                         inner.field(\"{f}\")?)\
+                                         .map_err(|e| ::serde::Error(\
+                                             ::std::format!(\
+                                                 \"variant `{v}` field `{f}`: {{}}\", e.0)))?,"
                                 )
                             })
                             .collect();
