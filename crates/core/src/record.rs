@@ -55,6 +55,11 @@ pub enum Layer {
     FileSystem,
     /// What the block device actually served.
     Device,
+    /// Time a request spent crossing the interconnect between client and
+    /// server (request out for writes, reply back for reads). Network
+    /// records document transport cost without counting toward any of the
+    /// four paper metrics.
+    Network,
     /// A failed or abandoned attempt of a retried request. Retry records
     /// are sub-records of the application call that eventually succeeds
     /// (or gives up); they document degraded-mode work without counting

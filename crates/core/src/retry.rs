@@ -1,0 +1,207 @@
+//! Bounded-backoff retry: the one policy shared by every producer.
+//!
+//! Earlier revisions carried two retry implementations — the middleware
+//! stack's bounded-backoff loop and the parallel file system's degraded
+//! failover path — each with its own notion of "try again later". The
+//! policy and the loop now live here, in the crate both sides already
+//! depend on, so the middleware stack, the cluster-side failover, and the
+//! topology component graph all retry through one shared type.
+//!
+//! Every abandoned attempt is reported through [`RetryIo::on_abandoned`]
+//! (producers record it as a `Layer::Retry` record, which never counts
+//! toward the paper's four metrics); the successful attempt's completion
+//! is returned as-is.
+
+use crate::error::IoError;
+use crate::time::{Dur, Nanos};
+
+/// How a producer reacts to failed or over-long requests: bounded retries
+/// with exponential backoff and an optional per-request timeout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try + retries). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff * 2^(n-1)`, capped at
+    /// [`RetryPolicy::max_backoff`].
+    pub base_backoff: Dur,
+    /// Upper bound on a single backoff pause.
+    pub max_backoff: Dur,
+    /// Abandon an attempt that has not completed after this long
+    /// (`None` = wait forever).
+    pub timeout: Option<Dur>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Dur::from_millis(1),
+            max_backoff: Dur::from_millis(100),
+            timeout: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff pause before retrying after failed attempt `attempt`
+    /// (1-based): exponential, capped.
+    pub fn backoff(&self, attempt: u32) -> Dur {
+        let factor = 1u64 << (attempt - 1).min(16);
+        Dur(self.base_backoff.0.saturating_mul(factor)).min(self.max_backoff)
+    }
+}
+
+/// The I/O environment [`issue_with_retry`] drives: one fallible attempt,
+/// plus the observer notified of every abandoned attempt (producers turn
+/// that into a `Layer::Retry` record).
+pub trait RetryIo {
+    /// Issue one attempt at `at`; returns its completion instant.
+    fn attempt(&mut self, at: Nanos) -> Result<Nanos, IoError>;
+
+    /// An attempt issued at `start` was abandoned (timeout) or failed
+    /// (transient error) at `end`.
+    fn on_abandoned(&mut self, start: Nanos, end: Nanos);
+}
+
+/// Issue one request under `policy`: transient failures back off
+/// exponentially and retry; attempts that outlive the timeout are
+/// abandoned and retried; the final attempt's result is accepted as-is.
+/// Non-transient errors (EOF) propagate immediately.
+pub fn issue_with_retry<C: RetryIo>(
+    policy: &RetryPolicy,
+    now: Nanos,
+    io: &mut C,
+) -> Result<Nanos, IoError> {
+    let mut t = now;
+    let mut attempt = 1u32;
+    loop {
+        let last = attempt >= policy.max_attempts;
+        match io.attempt(t) {
+            Ok(done) => {
+                match policy.timeout {
+                    // An attempt that outlived the timeout was abandoned
+                    // by the client even though the work finished — retry
+                    // unless this was the last attempt (then take the
+                    // slow completion).
+                    Some(timeout) if !last && done.since(t) > timeout => {
+                        let abandoned = t + timeout;
+                        io.on_abandoned(t, abandoned);
+                        t = abandoned + policy.backoff(attempt);
+                    }
+                    _ => return Ok(done),
+                }
+            }
+            Err(e) if !e.is_transient() => return Err(e),
+            Err(e) => {
+                let detected = e.fail_time().unwrap_or(t);
+                io.on_abandoned(t, detected);
+                if last {
+                    return Err(IoError::RetriesExhausted {
+                        attempts: attempt,
+                        at: detected,
+                    });
+                }
+                t = detected + policy.backoff(attempt);
+            }
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(1), Dur::from_millis(1));
+        assert_eq!(p.backoff(2), Dur::from_millis(2));
+        assert_eq!(p.backoff(3), Dur::from_millis(4));
+        assert_eq!(p.backoff(9), Dur::from_millis(100));
+        assert_eq!(p.backoff(60), Dur::from_millis(100));
+    }
+
+    struct Script {
+        fail_first: u32,
+        attempts: u32,
+        abandoned: Vec<(Nanos, Nanos)>,
+        service: Dur,
+    }
+
+    impl RetryIo for Script {
+        fn attempt(&mut self, at: Nanos) -> Result<Nanos, IoError> {
+            self.attempts += 1;
+            if self.attempts <= self.fail_first {
+                Err(IoError::DeviceFault {
+                    server: 0,
+                    at: at + Dur::from_micros(10),
+                })
+            } else {
+                Ok(at + self.service)
+            }
+        }
+
+        fn on_abandoned(&mut self, start: Nanos, end: Nanos) {
+            self.abandoned.push((start, end));
+        }
+    }
+
+    #[test]
+    fn transient_failures_back_off_then_succeed() {
+        let mut io = Script {
+            fail_first: 2,
+            attempts: 0,
+            abandoned: Vec::new(),
+            service: Dur::from_micros(100),
+        };
+        let p = RetryPolicy::default();
+        let done = issue_with_retry(&p, Nanos::ZERO, &mut io).unwrap();
+        assert_eq!(io.attempts, 3);
+        assert_eq!(io.abandoned.len(), 2);
+        // Attempt 1 fails at 10 µs, backs off 1 ms; attempt 2 fails 10 µs
+        // later, backs off 2 ms; attempt 3 succeeds after 100 µs.
+        let expect = Nanos::ZERO
+            + Dur::from_micros(10)
+            + Dur::from_millis(1)
+            + Dur::from_micros(10)
+            + Dur::from_millis(2)
+            + Dur::from_micros(100);
+        assert_eq!(done, expect);
+    }
+
+    #[test]
+    fn exhausted_retries_report_attempt_count() {
+        let mut io = Script {
+            fail_first: 10,
+            attempts: 0,
+            abandoned: Vec::new(),
+            service: Dur::ZERO,
+        };
+        let p = RetryPolicy::default();
+        match issue_with_retry(&p, Nanos::ZERO, &mut io) {
+            Err(IoError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 4),
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(io.attempts, 4);
+        assert_eq!(io.abandoned.len(), 4);
+    }
+
+    #[test]
+    fn timeout_abandons_slow_attempts() {
+        struct Slow;
+        impl RetryIo for Slow {
+            fn attempt(&mut self, at: Nanos) -> Result<Nanos, IoError> {
+                Ok(at + Dur::from_millis(50))
+            }
+            fn on_abandoned(&mut self, _s: Nanos, _e: Nanos) {}
+        }
+        let p = RetryPolicy {
+            timeout: Some(Dur::from_millis(10)),
+            ..RetryPolicy::default()
+        };
+        // Every attempt is slow; the last one's completion is accepted.
+        let done = issue_with_retry(&p, Nanos::ZERO, &mut Slow).unwrap();
+        assert!(done.since(Nanos::ZERO) > Dur::from_millis(50));
+    }
+}

@@ -125,6 +125,7 @@ pub struct StreamingMetrics {
     app: LayerAcc,
     fs: LayerAcc,
     device_ops: u64,
+    net_ops: u64,
     retry_ops: u64,
     first_start: Option<Nanos>,
     last_end: Option<Nanos>,
@@ -261,13 +262,13 @@ impl StreamingMetrics {
     }
 
     /// Overlapped I/O time at a layer (the `T` of equation (1) when
-    /// `layer` is `Application`). Zero for `Device` and `Retry`: the
-    /// streaming path tracks the layers the metrics read.
+    /// `layer` is `Application`). Zero for `Device`, `Network` and
+    /// `Retry`: the streaming path tracks the layers the metrics read.
     pub fn overlapped_io_time(&self, layer: Layer) -> Dur {
         match layer {
             Layer::Application => self.app.union.total(),
             Layer::FileSystem => self.fs.union.total(),
-            Layer::Device | Layer::Retry => Dur::ZERO,
+            Layer::Device | Layer::Network | Layer::Retry => Dur::ZERO,
         }
     }
 
@@ -277,35 +278,38 @@ impl StreamingMetrics {
             Layer::Application => self.app.ops,
             Layer::FileSystem => self.fs.ops,
             Layer::Device => self.device_ops,
+            Layer::Network => self.net_ops,
             Layer::Retry => self.retry_ops,
         }
     }
 
-    /// Bytes observed at a layer. Zero for `Device` and `Retry`.
+    /// Bytes observed at a layer. Zero for `Device`, `Network` and
+    /// `Retry`.
     pub fn bytes(&self, layer: Layer) -> u64 {
         match layer {
             Layer::Application => self.app.bytes,
             Layer::FileSystem => self.fs.bytes,
-            Layer::Device | Layer::Retry => 0,
+            Layer::Device | Layer::Network | Layer::Retry => 0,
         }
     }
 
-    /// 512-byte blocks observed at a layer. Zero for `Device` and `Retry`.
+    /// 512-byte blocks observed at a layer. Zero for `Device`, `Network`
+    /// and `Retry`.
     pub fn blocks(&self, layer: Layer) -> u64 {
         match layer {
             Layer::Application => self.app.blocks,
             Layer::FileSystem => self.fs.blocks,
-            Layer::Device | Layer::Retry => 0,
+            Layer::Device | Layer::Network | Layer::Retry => 0,
         }
     }
 
-    /// Summed (non-overlapped) response time at a layer. Zero for `Device`
-    /// and `Retry`.
+    /// Summed (non-overlapped) response time at a layer. Zero for
+    /// `Device`, `Network` and `Retry`.
     pub fn summed_io_time(&self, layer: Layer) -> Dur {
         match layer {
             Layer::Application => self.app.summed,
             Layer::FileSystem => self.fs.summed,
-            Layer::Device | Layer::Retry => Dur::ZERO,
+            Layer::Device | Layer::Network | Layer::Retry => Dur::ZERO,
         }
     }
 
@@ -368,6 +372,7 @@ impl RecordSink for StreamingMetrics {
             }
             Layer::FileSystem => self.fs.observe(record),
             Layer::Device => self.device_ops += 1,
+            Layer::Network => self.net_ops += 1,
             Layer::Retry => self.retry_ops += 1,
         }
     }
@@ -401,6 +406,7 @@ impl RecordSink for StreamingMetrics {
                 }
                 Layer::FileSystem => fs.observe(r, &mut self.fs.union),
                 Layer::Device => self.device_ops += 1,
+                Layer::Network => self.net_ops += 1,
                 Layer::Retry => self.retry_ops += 1,
             }
         }
@@ -508,6 +514,7 @@ mod tests {
             rec(1, Layer::Application, 512, 20, 90),
             rec(1, Layer::Device, 512, 25, 60),
             rec(2, Layer::Retry, 512, 26, 61),
+            rec(2, Layer::Network, 512, 27, 58),
             rec(0, Layer::Application, 1 << 20, 200, 900),
             rec(0, Layer::FileSystem, 4096, 210, 890),
         ];
@@ -531,6 +538,7 @@ mod tests {
             Layer::Application,
             Layer::FileSystem,
             Layer::Device,
+            Layer::Network,
             Layer::Retry,
         ] {
             assert_eq!(one.op_count(layer), batched.op_count(layer));

@@ -153,7 +153,13 @@ proptest! {
         prop_assert_eq!(bits(seq.arpt()), bits(bat.arpt()));
         prop_assert_eq!(seq.execution_time(), bat.execution_time());
         prop_assert_eq!(seq.len(), bat.len());
-        for layer in [Layer::Application, Layer::FileSystem, Layer::Device, Layer::Retry] {
+        for layer in [
+            Layer::Application,
+            Layer::FileSystem,
+            Layer::Device,
+            Layer::Network,
+            Layer::Retry,
+        ] {
             prop_assert_eq!(seq.op_count(layer), bat.op_count(layer));
         }
         prop_assert_eq!(seq.app_blocks(), bat.app_blocks());

@@ -10,6 +10,7 @@
 //! reproduce run fig9 --tiny        # any bundled scenario through the engine
 //! reproduce run my_sweep.json      # a user-authored scenario, no recompiling
 //! reproduce check my_sweep.json    # parse + expand without running
+//! reproduce topology fig9          # the component graph a scenario's cases run
 //! reproduce fig4 --metrics BPS,p99 # score a custom metric selection
 //! reproduce fig4 --journal r.jsonl # checkpoint every finished unit
 //! reproduce resume r.jsonl         # pick the run back up, skipping done units
@@ -58,6 +59,7 @@ fn usage() -> ! {
          \x20      reproduce metrics\n\
          \x20      reproduce run <name|path.json>... [same flags as above]\n\
          \x20      reproduce check <path.json>...\n\
+         \x20      reproduce topology <name|path.json>... [--quick|--tiny|--paper]\n\
          \x20      reproduce resume <journal> [extra flags]\n\
          targets: all, {}\n\
          threads: --threads <n> outranks the BPS_THREADS environment variable;\n\
@@ -254,10 +256,62 @@ fn cmd_check(paths: &[String]) {
                         quick_cases = cases.len();
                     }
                 }
-                Err(e) => fail(format_args!("{p}: at --{name}: {e}")),
+                Err(e) => {
+                    eprintln!("error: {p}: at --{name}: {e}");
+                    std::process::exit(match e.kind() {
+                        engine::EngineErrorKind::InvalidSpec => {
+                            FailureKind::InvalidSpec.exit_code()
+                        }
+                        engine::EngineErrorKind::Io => FailureKind::Io.exit_code(),
+                    });
+                }
             }
         }
         println!("ok: {} ({} cases at quick scale)", sc.name, quick_cases);
+    }
+}
+
+/// `reproduce topology <name|path.json>...` — expand each scenario at
+/// the selected scale and pretty-print the component graph(s) its cases
+/// run: one block per distinct effective topology, with the case labels
+/// that share it. Scenarios without an explicit `topology` field show
+/// the prebuilt graph derived from their `storage`.
+fn cmd_topology(refs: &[String], scale: &Scale) {
+    for r in refs {
+        let sc = resolve_scenario(r);
+        let cases = match engine::expand(&sc, scale) {
+            Ok(c) => c,
+            Err(e) => fail_engine(e),
+        };
+        println!(
+            "{}: {} ({} case{})",
+            sc.name,
+            sc.title,
+            cases.len(),
+            if cases.len() == 1 { "" } else { "s" }
+        );
+        // Group cases by distinct effective topology, first-seen order.
+        let mut groups: Vec<(bps_topology::TopologySpec, Vec<usize>)> = Vec::new();
+        for (i, c) in cases.iter().enumerate() {
+            let topo = c.effective_topology();
+            match groups.iter_mut().find(|(t, _)| *t == topo) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((topo, vec![i])),
+            }
+        }
+        for (topo, idxs) in &groups {
+            let labels: Vec<&str> = idxs.iter().map(|&i| cases[i].label.as_str()).collect();
+            println!("cases: {}", labels.join(", "));
+            let mut summaries: Vec<String> =
+                idxs.iter().map(|&i| cases[i].workload_summary()).collect();
+            summaries.dedup();
+            let workload = match summaries.as_slice() {
+                [one] => Some(one.as_str()),
+                _ => None,
+            };
+            println!("{}", topo.render(workload));
+            println!();
+        }
     }
 }
 
@@ -471,6 +525,13 @@ fn main() {
                 usage();
             }
             cmd_check(&targets[1..]);
+            return;
+        }
+        "topology" => {
+            if targets.len() < 2 {
+                usage();
+            }
+            cmd_topology(&targets[1..], &scale);
             return;
         }
         _ => {}

@@ -144,6 +144,7 @@ fn run_combo(combo: Combo, scale: &Scale, seed: u64) -> StreamingMetrics {
         jitter: Jitter::DEFAULT,
         seed,
         record_device_layer: false,
+        record_net_layer: false,
         fault: bps_sim::fault::FaultPlan::none(),
     };
     let cluster = Cluster::with_sink(&cfg, StreamingMetrics::new());

@@ -9,22 +9,15 @@
 //! runs, as the paper averages 5 runs per case.
 
 use bps_core::metrics::MetricSelection;
-use bps_core::record::FileId;
 use bps_core::sink::{RecordSink, StreamingMetrics};
 use bps_core::time::Dur;
 use bps_core::trace::Trace;
-use bps_fs::cluster::{Cluster, ClusterConfig, DeviceSpec};
-use bps_fs::layout::StripeLayout;
-use bps_fs::localfs::LocalFs;
-use bps_fs::pfs::ParallelFs;
 use bps_middleware::process::run_workload;
 use bps_middleware::sieving::SievingConfig;
-use bps_middleware::stack::{FsBackend, IoStack, RetryPolicy};
-use bps_sim::device::hdd::HddProfile;
-use bps_sim::device::ssd::SsdProfile;
-use bps_sim::device::DiskSched;
+use bps_middleware::stack::RetryPolicy;
 use bps_sim::fault::FaultPlan;
-use bps_sim::rng::{Jitter, SimRng};
+use bps_sim::rng::SimRng;
+use bps_topology::{BuildEnv, DeviceNode, Layout, TopologySpec};
 use bps_workloads::spec::Workload;
 use serde::Serialize;
 
@@ -40,6 +33,19 @@ pub enum Storage {
         /// Number of I/O servers.
         servers: usize,
     },
+}
+
+impl Storage {
+    /// The prebuilt component graph this storage historically hardcoded:
+    /// local-over-device for `Hdd`/`Ssd`, striped-over-the-network for
+    /// `Pvfs`. A case without an explicit topology runs this graph.
+    pub fn default_topology(&self) -> TopologySpec {
+        match *self {
+            Storage::Hdd => TopologySpec::local(DeviceNode::Hdd),
+            Storage::Ssd => TopologySpec::local(DeviceNode::Ssd),
+            Storage::Pvfs { servers } => TopologySpec::pfs(servers),
+        }
+    }
 }
 
 /// How the workload's files are laid out on a PVFS case.
@@ -72,6 +78,11 @@ pub struct CaseSpec<'a> {
     pub fault: FaultPlan,
     /// Middleware timeout/retry/backoff behavior under faults.
     pub retry: RetryPolicy,
+    /// Explicit component graph to run instead of the prebuilt one
+    /// [`Storage::default_topology`] derives from `storage`. When set, the
+    /// graph decides the file system, interconnect, and device; `storage`
+    /// only labels the case.
+    pub topology: Option<TopologySpec>,
 }
 
 impl<'a> CaseSpec<'a> {
@@ -86,6 +97,7 @@ impl<'a> CaseSpec<'a> {
             cpu_per_op: Dur::from_micros(5),
             fault: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            topology: None,
         }
     }
 
@@ -93,6 +105,20 @@ impl<'a> CaseSpec<'a> {
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = fault;
         self
+    }
+
+    /// Same case over an explicit component graph.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The component graph this case runs: the explicit one if declared,
+    /// otherwise the storage's prebuilt default.
+    pub fn effective_topology(&self) -> TopologySpec {
+        self.topology
+            .clone()
+            .unwrap_or_else(|| self.storage.default_topology())
     }
 }
 
@@ -119,58 +145,34 @@ pub fn run_case_streaming_selected(
     run_case_with(spec, seed, StreamingMetrics::for_selection(selection))
 }
 
-/// Run one case once with one seed, feeding records into `sink`.
+/// Run one case once with one seed, feeding records into `sink`. The
+/// case's component graph (explicit or prebuilt) is assembled over the
+/// sink and driven by the engine loop.
 pub fn run_case_with<S: RecordSink + Default>(spec: &CaseSpec<'_>, seed: u64, sink: S) -> S {
-    let servers = match spec.storage {
-        Storage::Pvfs { servers } => servers,
-        _ => 1,
-    };
     // Per-run variability beyond per-request jitter: server CPU cost and
     // device behaviour differ slightly run to run (placement, background
     // daemons), which is why the paper averages 5 runs.
     let mut seed_rng = SimRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
     let server_cpu = Dur::from_secs_f64(25e-6 * (0.85 + 0.3 * seed_rng.unit()));
-    let cfg = ClusterConfig {
-        servers,
-        clients: spec.clients.max(1),
-        device: match spec.storage {
-            Storage::Ssd => DeviceSpec::Ssd(SsdProfile::pcie_x4_100gb()),
-            _ => DeviceSpec::Hdd(HddProfile::sata_7200_250gb()),
-        },
-        sched: DiskSched::Fifo,
+    let file_sizes = spec.workload.file_sizes();
+    let env = BuildEnv {
+        clients: spec.clients,
         server_cpu,
-        jitter: Jitter::DEFAULT,
         seed,
-        record_device_layer: false,
+        file_sizes: &file_sizes,
+        layout: match spec.layout {
+            LayoutPolicy::DefaultStripe => Layout::DefaultStripe,
+            LayoutPolicy::PinnedPerFile => Layout::PinnedPerFile,
+        },
+        sieving: spec.sieving,
+        retry: spec.retry,
         fault: spec.fault.clone(),
     };
-    let cluster = Cluster::with_sink(&cfg, sink);
-    let file_sizes = spec.workload.file_sizes();
-    let mut file_map: Vec<FileId> = Vec::with_capacity(file_sizes.len());
-    let backend = match spec.storage {
-        Storage::Hdd | Storage::Ssd => {
-            let mut fs = LocalFs::new(0);
-            for &size in &file_sizes {
-                file_map.push(fs.create(size));
-            }
-            FsBackend::Local(fs)
-        }
-        Storage::Pvfs { servers } => {
-            let mut pfs = ParallelFs::new(servers);
-            for (i, &size) in file_sizes.iter().enumerate() {
-                let layout = match spec.layout {
-                    LayoutPolicy::DefaultStripe => StripeLayout::default_over(servers),
-                    LayoutPolicy::PinnedPerFile => StripeLayout::pinned(i % servers),
-                };
-                file_map.push(pfs.create(size, layout));
-            }
-            FsBackend::Parallel(pfs)
-        }
-    };
-    let mut stack = IoStack::new(cluster, backend);
-    stack.sieving = spec.sieving;
-    stack.retry = spec.retry;
-    let (sink, _outcome) = run_workload(stack, spec.workload, &file_map, spec.cpu_per_op);
+    let built = spec
+        .effective_topology()
+        .build(&env, sink)
+        .unwrap_or_else(|e| panic!("invalid topology: {e}"));
+    let (sink, _outcome) = run_workload(built.stack, spec.workload, &built.files, spec.cpu_per_op);
     sink
 }
 

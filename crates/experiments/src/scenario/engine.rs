@@ -116,8 +116,36 @@ pub struct ResolvedCase {
     pub cpu_per_op_us: u64,
     /// Client node count; `None` = one per workload process.
     pub clients: Option<usize>,
+    /// Explicit component graph; `None` = the prebuilt graph derived
+    /// from `storage`.
+    pub topology: Option<bps_topology::TopologySpec>,
     /// The workload.
     pub workload: ResolvedWorkload,
+}
+
+impl ResolvedCase {
+    /// The component graph this case actually runs: the explicit
+    /// `topology` when the scenario declares one, otherwise the prebuilt
+    /// graph derived from `storage`.
+    pub fn effective_topology(&self) -> bps_topology::TopologySpec {
+        if let Some(t) = &self.topology {
+            return t.clone();
+        }
+        match self.storage {
+            StorageSpec::Hdd => Storage::Hdd,
+            StorageSpec::Ssd => Storage::Ssd,
+            StorageSpec::Pvfs { servers } => Storage::Pvfs { servers },
+        }
+        .default_topology()
+    }
+
+    /// One-line workload description for display (`reproduce topology`).
+    pub fn workload_summary(&self) -> String {
+        match &self.workload {
+            ResolvedWorkload::Spec(w) => w.summary(),
+            ResolvedWorkload::DegradedMix => "degraded-mode mix (sized from scale)".to_string(),
+        }
+    }
 }
 
 /// Apply one grid patch to a workload template. Workload-shaping fields
@@ -263,6 +291,13 @@ pub fn expand(scenario: &Scenario, scale: &Scale) -> Result<Vec<ResolvedCase>, E
             )));
         }
     }
+    // An explicit component graph must be structurally sound before
+    // anything runs, mirroring the metric checks above.
+    if let Some(topology) = &scenario.base.topology {
+        topology
+            .validate()
+            .map_err(|e| err(format!("scenario `{}`: {e}", scenario.name)))?;
+    }
     // Cross the dimensions into (label, patches-in-dimension-order).
     let mut combos: Vec<(String, Vec<&Patch>)> = vec![(String::new(), Vec::new())];
     for (d, dim) in scenario.grid.dims.iter().enumerate() {
@@ -321,6 +356,7 @@ pub fn expand(scenario: &Scenario, scale: &Scale) -> Result<Vec<ResolvedCase>, E
             fault,
             cpu_per_op_us: base.cpu_per_op_us.unwrap_or(5),
             clients: base.clients,
+            topology: base.topology.clone(),
             workload,
         });
     }
@@ -548,6 +584,7 @@ fn case_spec<'a>(c: &ResolvedCase, w: &'a dyn Workload) -> CaseSpec<'a> {
     if let Some(clients) = c.clients {
         spec.clients = clients;
     }
+    spec.topology = c.topology.clone();
     spec
 }
 

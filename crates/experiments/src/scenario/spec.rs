@@ -354,7 +354,7 @@ impl Grid {
 /// the hand-built sweeps' conventions: 64 KB default striping, ROMIO
 /// sieving defaults, default retry policy, no faults, 5 µs of CPU per
 /// op, and one client node per workload process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CaseTemplate {
     /// Storage under test.
     pub storage: StorageSpec,
@@ -372,6 +372,10 @@ pub struct CaseTemplate {
     pub cpu_per_op_us: Option<u64>,
     /// Client node count; default = the workload's process count.
     pub clients: Option<usize>,
+    /// Explicit component graph (`"topology": [...]` in scenario JSON);
+    /// default = the prebuilt graph derived from `storage`, which runs
+    /// byte-identically to the pre-topology engine.
+    pub topology: Option<bps_topology::TopologySpec>,
 }
 
 impl CaseTemplate {
@@ -386,7 +390,50 @@ impl CaseTemplate {
             fault: None,
             cpu_per_op_us: None,
             clients: None,
+            topology: None,
         }
+    }
+}
+
+// Hand-rolled so the absent `topology` of a classic template is omitted
+// on the wire, keeping serialized scenarios byte-identical to the
+// pre-topology format (the other optionals keep the derived `null`
+// encoding they have always had).
+impl Serialize for CaseTemplate {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("storage".to_string(), self.storage.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("layout".to_string(), self.layout.to_value()),
+            ("sieving".to_string(), self.sieving.to_value()),
+            ("retry".to_string(), self.retry.to_value()),
+            ("fault".to_string(), self.fault.to_value()),
+            ("cpu_per_op_us".to_string(), self.cpu_per_op_us.to_value()),
+            ("clients".to_string(), self.clients.to_value()),
+        ];
+        if let Some(topology) = &self.topology {
+            pairs.push(("topology".to_string(), topology.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for CaseTemplate {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(CaseTemplate {
+            storage: ctx("storage", Deserialize::from_value(v.field("storage")?))?,
+            workload: ctx("workload", Deserialize::from_value(v.field("workload")?))?,
+            layout: ctx("layout", Deserialize::from_value(v.field("layout")?))?,
+            sieving: ctx("sieving", Deserialize::from_value(v.field("sieving")?))?,
+            retry: ctx("retry", Deserialize::from_value(v.field("retry")?))?,
+            fault: ctx("fault", Deserialize::from_value(v.field("fault")?))?,
+            cpu_per_op_us: ctx(
+                "cpu_per_op_us",
+                Deserialize::from_value(v.field("cpu_per_op_us")?),
+            )?,
+            clients: ctx("clients", Deserialize::from_value(v.field("clients")?))?,
+            topology: ctx("topology", Deserialize::from_value(v.field("topology")?))?,
+        })
     }
 }
 
@@ -508,13 +555,14 @@ impl Serialize for Scenario {
     }
 }
 
+// Name the offending field, like the derived impls do, so a deep error
+// reads as a path from the scenario root.
+fn ctx<T>(field: &str, r: Result<T, serde::Error>) -> Result<T, serde::Error> {
+    r.map_err(|e| serde::Error(format!("field `{field}`: {e}")))
+}
+
 impl Deserialize for Scenario {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        // Name the offending field, like the derived impls do, so a deep
-        // error reads as a path from the scenario root.
-        fn ctx<T>(field: &str, r: Result<T, serde::Error>) -> Result<T, serde::Error> {
-            r.map_err(|e| serde::Error(format!("field `{field}`: {e}")))
-        }
         Ok(Scenario {
             name: ctx("name", Deserialize::from_value(v.field("name")?))?,
             title: ctx("title", Deserialize::from_value(v.field("title")?))?,

@@ -320,6 +320,109 @@ fn check_names_the_offending_field_on_a_type_mismatch() {
 }
 
 #[test]
+fn custom_topology_scenario_matches_its_golden() {
+    // The whole point of the topology layer: a stack no figure ever
+    // hardcoded (prefetch -> 4-server PFS -> lossy net -> SSD), declared
+    // as data, runs end-to-end and scores BPS. Bytes are pinned.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let example = repo_root.join("examples/scenarios/custom-topology.json");
+    let out = stdout_of(&["run", example.to_str().unwrap(), "--tiny"]);
+    assert!(out.contains("BPS"), "{out}");
+    assert_eq!(out, golden("custom-topology"));
+}
+
+#[test]
+fn topology_subcommand_matches_its_golden() {
+    // `reproduce topology` renders the expanded component graph: one line
+    // per node with its ports and effective configuration.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let example = repo_root.join("examples/scenarios/custom-topology.json");
+    assert_eq!(
+        stdout_of(&["topology", example.to_str().unwrap()]),
+        golden("custom-topology-graph")
+    );
+}
+
+#[test]
+fn topology_of_a_prebuilt_scenario_shows_the_derived_graph() {
+    // A scenario with no `topology` field still renders: the graph is
+    // derived from its storage (fig9 is 8-server PFS over HDD).
+    let out = stdout_of(&["topology", "fig9", "--tiny"]);
+    assert!(out.contains("Pfs"), "{out}");
+    assert!(out.contains("8 servers"), "{out}");
+    assert!(out.contains("file -> block"), "{out}");
+}
+
+#[test]
+fn bad_topology_node_is_named_with_the_valid_kinds() {
+    // An unknown component fails expansion with the node index, the bad
+    // kind, and the registry-style listing of valid kinds — exit class 3.
+    let dir = std::env::temp_dir().join("bps_cli_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad-topology.json");
+    let sc = r#"{
+      "name": "bad-topology", "title": "t", "output": "Cc",
+      "base": {
+        "storage": "Hdd",
+        "workload": { "Iozone": { "mode": "SeqRead",
+          "file_size": { "Abs": { "n": 1048576 } },
+          "record_size": { "Abs": { "n": 4096 } },
+          "processes": 1, "seed": 0 } },
+        "topology": [ "Teleport" ]
+      },
+      "grid": { "dims": [[ { "label": "x", "patch": {} } ]] },
+      "expect": []
+    }"#;
+    std::fs::write(&path, sc).unwrap();
+    let out = reproduce(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown component `Teleport`"), "{err}");
+    assert!(
+        err.contains("valid components: Collective, Sieving, Prefetch, LocalFs, Pfs, Net, Device"),
+        "{err}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn ill_ordered_topology_is_rejected_at_expansion() {
+    // Structurally bad (Net above a local fs) parses but fails validation
+    // when the scenario expands, naming the node and scenario.
+    let dir = std::env::temp_dir().join("bps_cli_golden");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ill-topology.json");
+    let sc = r#"{
+      "name": "ill-topology", "title": "t", "output": "Cc",
+      "base": {
+        "storage": "Hdd",
+        "workload": { "Iozone": { "mode": "SeqRead",
+          "file_size": { "Abs": { "n": 1048576 } },
+          "record_size": { "Abs": { "n": 4096 } },
+          "processes": 1, "seed": 0 } },
+        "topology": [ { "LocalFs": {} }, { "Net": {} } ]
+      },
+      "grid": { "dims": [[ { "label": "x", "patch": {} } ]] },
+      "expect": []
+    }"#;
+    std::fs::write(&path, sc).unwrap();
+    let out = reproduce(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("ill-topology"), "{err}");
+    assert!(err.contains("Net"), "{err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn run_of_unknown_name_suggests_list() {
     let out = reproduce(&["run", "not-a-scenario"]);
     assert_eq!(out.status.code(), Some(1));

@@ -90,6 +90,9 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Also record `Layer::Device` records (adds one record per chunk).
     pub record_device_layer: bool,
+    /// Also record `Layer::Network` records for the payload leg of each
+    /// remote chunk (adds one record per chunk).
+    pub record_net_layer: bool,
     /// Fault injection plan. [`FaultPlan::none()`] (the default) is
     /// bit-for-bit neutral: the injector's randomness is derived from
     /// `(fault.seed, seed)` independently of the device streams, and every
@@ -109,6 +112,7 @@ impl ClusterConfig {
             jitter: Jitter::DEFAULT,
             seed,
             record_device_layer: false,
+            record_net_layer: false,
             fault: FaultPlan::none(),
         }
     }
@@ -144,6 +148,7 @@ pub struct Cluster<S: RecordSink = Trace> {
     switch: Switch,
     server_cpu: Dur,
     record_device_layer: bool,
+    record_net_layer: bool,
     fault: FaultInjector,
     /// The global record observer (paper §III.B Step 2). All layers feed
     /// it as each access completes; experiments read it back at the end of
@@ -196,6 +201,7 @@ impl<S: RecordSink> Cluster<S> {
             switch: Switch::gigabit_cluster(),
             server_cpu: cfg.server_cpu,
             record_device_layer: cfg.record_device_layer,
+            record_net_layer: cfg.record_net_layer,
             fault: FaultInjector::new(&cfg.fault, cfg.seed),
             sink,
             pending: PENDING_POOL.take(),
@@ -349,6 +355,7 @@ impl<S: RecordSink> Cluster<S> {
             .transfer(outbound_issue, outbound);
         let t = self.switch.forward(t, outbound);
         let t = self.servers[server].nic_in.transfer(t, outbound);
+        let arrived = t;
         // An offline server refuses the request; the client learns of it
         // from a short error reply, paying the network both ways.
         if let Some(until) = self.fault.outage_until(server, t) {
@@ -413,6 +420,25 @@ impl<S: RecordSink> Cluster<S> {
         let t = self.servers[server].nic_out.transfer(reply_at, inbound);
         let t = self.switch.forward(t, inbound);
         let done = self.clients[client].nic_in.transfer(t, inbound);
+        if self.record_net_layer {
+            // The payload leg: outbound for writes (issue until the data
+            // reaches the server NIC), inbound for reads (reply until the
+            // data reaches the client).
+            let (net_start, net_end) = match op {
+                IoOp::Read => (reply_at, done),
+                IoOp::Write => (outbound_issue, arrived),
+            };
+            self.record(IoRecord::new(
+                pid,
+                op,
+                file,
+                chunk.file_offset,
+                bytes,
+                net_start,
+                net_end,
+                Layer::Network,
+            ));
+        }
         self.record(IoRecord::new(
             pid,
             op,
@@ -539,6 +565,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 1,
             record_device_layer: true,
+            record_net_layer: false,
             fault: FaultPlan::none(),
         })
     }
@@ -711,6 +738,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 1,
             record_device_layer: true,
+            record_net_layer: false,
             fault: FaultPlan::none(),
         };
         let mut traced = Cluster::new(&cfg);

@@ -274,6 +274,7 @@ mod tests {
                 jitter: Jitter::NONE,
                 seed: 7,
                 record_device_layer: false,
+                record_net_layer: false,
                 fault: bps_sim::fault::FaultPlan::none(),
             };
             Cluster::new(&cfg)

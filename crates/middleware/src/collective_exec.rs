@@ -151,6 +151,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 1,
             record_device_layer: false,
+            record_net_layer: false,
             fault: bps_sim::fault::FaultPlan::none(),
         });
         let mut pfs = ParallelFs::new(2);

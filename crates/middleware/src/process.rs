@@ -267,6 +267,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 11,
             record_device_layer: false,
+            record_net_layer: false,
             fault: bps_sim::fault::FaultPlan::none(),
         })
     }

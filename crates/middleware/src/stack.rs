@@ -11,6 +11,7 @@ use crate::sieving::{plan_read, SievingConfig};
 use bps_core::error::IoError;
 use bps_core::extent::Extent;
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
+use bps_core::retry::{issue_with_retry, RetryIo};
 use bps_core::sink::RecordSink;
 use bps_core::time::{Dur, Nanos};
 use bps_core::trace::Trace;
@@ -19,46 +20,15 @@ use bps_fs::localfs::LocalFs;
 use bps_fs::pfs::ParallelFs;
 use std::collections::HashMap;
 
-/// How the middleware reacts to failed or over-long requests: bounded
-/// retries with exponential backoff and an optional per-request timeout.
+/// The shared bounded-backoff retry policy; lives in
+/// [`bps_core::retry`] and is re-exported here for the middleware's
+/// historical callers.
 ///
 /// Every abandoned attempt is recorded as a [`Layer::Retry`] record (which
 /// never counts toward the paper's four metrics); the successful attempt
 /// records normally, so a degraded run shows longer application records
 /// plus retry sub-records rather than a panic.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RetryPolicy {
-    /// Total attempts per request (first try + retries). At least 1.
-    pub max_attempts: u32,
-    /// Backoff before retry `n` is `base_backoff * 2^(n-1)`, capped at
-    /// [`RetryPolicy::max_backoff`].
-    pub base_backoff: Dur,
-    /// Upper bound on a single backoff pause.
-    pub max_backoff: Dur,
-    /// Abandon an attempt that has not completed after this long
-    /// (`None` = wait forever).
-    pub timeout: Option<Dur>,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 4,
-            base_backoff: Dur::from_millis(1),
-            max_backoff: Dur::from_millis(100),
-            timeout: None,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// Backoff pause before retrying after failed attempt `attempt`
-    /// (1-based): exponential, capped.
-    pub fn backoff(&self, attempt: u32) -> Dur {
-        let factor = 1u64 << (attempt - 1).min(16);
-        Dur(self.base_backoff.0.saturating_mul(factor)).min(self.max_backoff)
-    }
-}
+pub use bps_core::retry::RetryPolicy;
 
 /// The file system under the middleware.
 pub enum FsBackend {
@@ -101,6 +71,46 @@ impl FsBackend {
             FsBackend::Local(fs) => fs.file_size(file),
             FsBackend::Parallel(fs) => fs.meta(file).size,
         }
+    }
+}
+
+/// One request's view of the backend for the shared retry loop: attempts
+/// go through the file system, abandoned attempts become `Layer::Retry`
+/// records in the cluster's sink. Borrows the backend and cluster
+/// separately so both are reachable from one `&mut` context.
+struct BackendRetry<'a, S: RecordSink> {
+    backend: &'a mut FsBackend,
+    cluster: &'a mut Cluster<S>,
+    pid: ProcessId,
+    client: usize,
+    file: FileId,
+    extent: Extent,
+    op: IoOp,
+}
+
+impl<S: RecordSink> RetryIo for BackendRetry<'_, S> {
+    fn attempt(&mut self, at: Nanos) -> Result<Nanos, IoError> {
+        self.backend.io(
+            self.cluster,
+            self.pid,
+            self.client,
+            self.file,
+            self.extent,
+            self.op,
+            at,
+        )
+    }
+
+    fn on_abandoned(&mut self, start: Nanos, end: Nanos) {
+        self.cluster.record_retry(
+            self.pid,
+            self.file,
+            self.extent.offset,
+            self.extent.len,
+            self.op,
+            start,
+            end,
+        );
     }
 }
 
@@ -177,11 +187,12 @@ impl<S: RecordSink> IoStack<S> {
     }
 
     /// Issue one request through the backend under this stack's
-    /// [`RetryPolicy`]: transient failures back off exponentially and
-    /// retry (each abandoned attempt recorded as [`Layer::Retry`]);
-    /// over-long attempts are abandoned at the timeout and retried; the
-    /// final attempt's result is accepted as-is. Non-transient errors
-    /// (EOF) propagate immediately.
+    /// [`RetryPolicy`], driven by the shared
+    /// [`bps_core::retry::issue_with_retry`] loop: transient failures back
+    /// off exponentially and retry (each abandoned attempt recorded as
+    /// [`Layer::Retry`]); over-long attempts are abandoned at the timeout
+    /// and retried; the final attempt's result is accepted as-is.
+    /// Non-transient errors (EOF) propagate immediately.
     #[allow(clippy::too_many_arguments)]
     fn issue(
         &mut self,
@@ -192,59 +203,16 @@ impl<S: RecordSink> IoStack<S> {
         op: IoOp,
         now: Nanos,
     ) -> Result<Nanos, IoError> {
-        let mut t = now;
-        let mut attempt = 1u32;
-        loop {
-            let last = attempt >= self.retry.max_attempts;
-            match self
-                .backend
-                .io(&mut self.cluster, pid, client, file, extent, op, t)
-            {
-                Ok(done) => {
-                    match self.retry.timeout {
-                        // An attempt that outlived the timeout was
-                        // abandoned by the client even though the cluster
-                        // finished the work — retry unless this was the
-                        // last attempt (then take the slow completion).
-                        Some(timeout) if !last && done.since(t) > timeout => {
-                            let abandoned = t + timeout;
-                            self.cluster.record_retry(
-                                pid,
-                                file,
-                                extent.offset,
-                                extent.len,
-                                op,
-                                t,
-                                abandoned,
-                            );
-                            t = abandoned + self.retry.backoff(attempt);
-                        }
-                        _ => return Ok(done),
-                    }
-                }
-                Err(e) if !e.is_transient() => return Err(e),
-                Err(e) => {
-                    let detected = e.fail_time().unwrap_or(t);
-                    self.cluster.record_retry(
-                        pid,
-                        file,
-                        extent.offset,
-                        extent.len,
-                        op,
-                        t,
-                        detected,
-                    );
-                    if last {
-                        return Err(IoError::RetriesExhausted {
-                            attempts: attempt,
-                            at: detected,
-                        });
-                    }
-                    t = detected + self.retry.backoff(attempt);
-                }
-            }
-            attempt += 1;
-        }
+        let mut io = BackendRetry {
+            backend: &mut self.backend,
+            cluster: &mut self.cluster,
+            pid,
+            client,
+            file,
+            extent,
+            op,
+        };
+        issue_with_retry(&self.retry, now, &mut io)
     }
 
     /// POSIX-style contiguous read. Returns the completion instant, or the
@@ -426,6 +394,7 @@ mod tests {
             jitter: Jitter::NONE,
             seed: 5,
             record_device_layer: false,
+            record_net_layer: false,
             fault: bps_sim::fault::FaultPlan::none(),
         })
     }

@@ -72,6 +72,21 @@ impl Link {
     pub fn latency(&self) -> Dur {
         self.latency
     }
+
+    /// Bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> u64 {
+        self.bandwidth
+    }
+
+    /// Short human description, e.g. `117 MB/s, 80.00us one-way`
+    /// (topology renderers, debug output).
+    pub fn describe(&self) -> String {
+        format!(
+            "{} MB/s, {} one-way",
+            self.bandwidth / 1_000_000,
+            self.latency
+        )
+    }
 }
 
 /// A shared switch backplane all transfers cross (see module docs for why

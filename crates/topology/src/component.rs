@@ -1,0 +1,376 @@
+//! The behavioural view of a topology node.
+//!
+//! Each [`NodeSpec`](crate::NodeSpec) lowers to one [`Component`]: a node
+//! with a typed input and output port, a human-readable description (used
+//! by `reproduce topology`), and an [`Component::install`] hook that
+//! contributes its configuration to the [`StackBuilder`](crate::StackBuilder)
+//! fold in [`crate::build`]. Requests flow downward through the ports:
+//!
+//! * [`PortKind::App`] — application-level requests (process, file,
+//!   extent), possibly noncontiguous.
+//! * [`PortKind::File`] — contiguous file-system requests after the
+//!   middleware layers have exchanged, sieved, or extended them.
+//! * [`PortKind::Block`] — block-level device requests.
+//!
+//! A chain is well-typed when each node's output port matches the next
+//! node's input port; [`TopologySpec::validate`](crate::TopologySpec::validate)
+//! enforces the ordering rules that guarantee this.
+
+use crate::build::{FsChoice, NetChoice, StackBuilder};
+use crate::spec::{DeviceNode, NodeSpec};
+use bps_sim::net::Link;
+
+/// What flows across a port boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// Application requests, as the workload issued them.
+    App,
+    /// Contiguous file-system requests.
+    File,
+    /// Block-level device requests.
+    Block,
+}
+
+impl std::fmt::Display for PortKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PortKind::App => "app",
+            PortKind::File => "file",
+            PortKind::Block => "block",
+        })
+    }
+}
+
+/// One node of the component graph: receives requests on its input port,
+/// transforms or forwards them, and hands them to the node below.
+pub trait Component {
+    /// Kind name, matching [`crate::VALID_COMPONENTS`].
+    fn kind(&self) -> &'static str;
+    /// Port this node receives requests on.
+    fn input(&self) -> PortKind;
+    /// Port this node emits requests on.
+    fn output(&self) -> PortKind;
+    /// One-line human description of what the node does, with its
+    /// effective parameters.
+    fn describe(&self) -> String;
+    /// Contribute this node's configuration to the stack under assembly.
+    fn install(&self, builder: &mut StackBuilder);
+}
+
+struct CollectiveNode;
+
+impl Component for CollectiveNode {
+    fn kind(&self) -> &'static str {
+        "Collective"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::App
+    }
+    fn output(&self) -> PortKind {
+        PortKind::App
+    }
+    fn describe(&self) -> String {
+        "two-phase collective exchange (group size follows the workload's process count)".into()
+    }
+    fn install(&self, builder: &mut StackBuilder) {
+        builder.collective = true;
+    }
+}
+
+struct SievingNode {
+    enabled: bool,
+}
+
+impl Component for SievingNode {
+    fn kind(&self) -> &'static str {
+        "Sieving"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::App
+    }
+    fn output(&self) -> PortKind {
+        PortKind::App
+    }
+    fn describe(&self) -> String {
+        if self.enabled {
+            "ROMIO-default data sieving (4 MB covering reads)".into()
+        } else {
+            "data sieving disabled (one request per region)".into()
+        }
+    }
+    fn install(&self, builder: &mut StackBuilder) {
+        builder.sieving = Some(self.enabled);
+    }
+}
+
+struct PrefetchNode {
+    window_kb: u64,
+}
+
+impl Component for PrefetchNode {
+    fn kind(&self) -> &'static str {
+        "Prefetch"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::App
+    }
+    fn output(&self) -> PortKind {
+        PortKind::App
+    }
+    fn describe(&self) -> String {
+        format!("sequential read-ahead, {} KB window", self.window_kb)
+    }
+    fn install(&self, builder: &mut StackBuilder) {
+        builder.prefetch_window = Some(self.window_kb << 10);
+    }
+}
+
+struct LocalFsNode {
+    overhead_us: Option<u64>,
+}
+
+impl Component for LocalFsNode {
+    fn kind(&self) -> &'static str {
+        "LocalFs"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::App
+    }
+    fn output(&self) -> PortKind {
+        PortKind::File
+    }
+    fn describe(&self) -> String {
+        match self.overhead_us {
+            Some(us) => format!("local file system on one server, {us} us per-call overhead"),
+            None => "local file system on one server".into(),
+        }
+    }
+    fn install(&self, builder: &mut StackBuilder) {
+        builder.fs = Some(FsChoice::Local {
+            overhead_us: self.overhead_us,
+        });
+    }
+}
+
+struct PfsNode {
+    servers: usize,
+}
+
+impl Component for PfsNode {
+    fn kind(&self) -> &'static str {
+        "Pfs"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::App
+    }
+    fn output(&self) -> PortKind {
+        PortKind::File
+    }
+    fn describe(&self) -> String {
+        format!(
+            "parallel file system, 64 KB stripes over {} server{}",
+            self.servers,
+            if self.servers == 1 { "" } else { "s" }
+        )
+    }
+    fn install(&self, builder: &mut StackBuilder) {
+        builder.fs = Some(FsChoice::Parallel {
+            servers: self.servers,
+        });
+    }
+}
+
+struct NetNode {
+    loss_rate: Option<f64>,
+    retransmit_delay_ms: Option<u64>,
+    record: Option<bool>,
+}
+
+impl Component for NetNode {
+    fn kind(&self) -> &'static str {
+        "Net"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::File
+    }
+    fn output(&self) -> PortKind {
+        PortKind::File
+    }
+    fn describe(&self) -> String {
+        let mut d = format!("gigabit ethernet, {}", Link::gigabit_ethernet().describe());
+        match self.loss_rate {
+            Some(rate) if rate > 0.0 => {
+                d.push_str(&format!(
+                    ", loss rate {rate}, retransmit after {} ms",
+                    self.retransmit_delay_ms
+                        .unwrap_or(NetChoice::DEFAULT_RETRANSMIT_MS)
+                ));
+            }
+            _ => d.push_str(", lossless"),
+        }
+        if self.record.unwrap_or(false) {
+            d.push_str(", recording network-layer spans");
+        }
+        d
+    }
+    fn install(&self, builder: &mut StackBuilder) {
+        builder.net = Some(NetChoice {
+            loss_rate: self.loss_rate,
+            retransmit_delay_ms: self.retransmit_delay_ms,
+            record: self.record.unwrap_or(false),
+        });
+    }
+}
+
+struct DeviceComponent {
+    device: DeviceNode,
+}
+
+impl Component for DeviceComponent {
+    fn kind(&self) -> &'static str {
+        "Device"
+    }
+    fn input(&self) -> PortKind {
+        PortKind::File
+    }
+    fn output(&self) -> PortKind {
+        PortKind::Block
+    }
+    fn describe(&self) -> String {
+        match &self.device {
+            DeviceNode::Hdd => "HDD, SATA 7200 rpm 250 GB profile".into(),
+            DeviceNode::Ssd => "SSD, PCIe x4 100 GB profile (4 channels)".into(),
+            DeviceNode::Raid0 { members } => {
+                format!("RAID-0 over {members} SATA 7200 rpm members")
+            }
+            DeviceNode::Ram {
+                fixed_us,
+                rate,
+                capacity,
+            } => format!(
+                "RAM-backed: {fixed_us} us fixed + {} MB/s, {} MB capacity",
+                rate / 1_000_000,
+                capacity / 1_000_000
+            ),
+        }
+    }
+    fn install(&self, builder: &mut StackBuilder) {
+        builder.device = Some(self.device.clone());
+    }
+}
+
+impl NodeSpec {
+    /// Lower this declaration to its behavioural component.
+    pub fn component(&self) -> Box<dyn Component> {
+        match self.clone() {
+            NodeSpec::Collective => Box::new(CollectiveNode),
+            NodeSpec::Sieving { enabled } => Box::new(SievingNode { enabled }),
+            NodeSpec::Prefetch { window_kb } => Box::new(PrefetchNode { window_kb }),
+            NodeSpec::LocalFs { overhead_us } => Box::new(LocalFsNode { overhead_us }),
+            NodeSpec::Pfs { servers } => Box::new(PfsNode { servers }),
+            NodeSpec::Net {
+                loss_rate,
+                retransmit_delay_ms,
+                record,
+            } => Box::new(NetNode {
+                loss_rate,
+                retransmit_delay_ms,
+                record,
+            }),
+            NodeSpec::Device { device } => Box::new(DeviceComponent { device }),
+        }
+    }
+}
+
+impl crate::TopologySpec {
+    /// Pretty-print the component graph: one line per node showing its
+    /// ports and effective configuration. `workload` is an optional
+    /// source-line description shown above the chain; a missing `Device`
+    /// node is rendered as the implicit HDD default.
+    pub fn render(&self, workload: Option<&str>) -> String {
+        let mut lines = Vec::new();
+        if let Some(w) = workload {
+            lines.push(format!(
+                "  {:<10} {:>5} -> {:<5}  {}",
+                "Workload", "", "app", w
+            ));
+        }
+        let mut components: Vec<(Box<dyn Component>, bool)> = self
+            .nodes()
+            .iter()
+            .map(|n| (n.component(), false))
+            .collect();
+        let has_device = self
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, NodeSpec::Device { .. }));
+        if !has_device {
+            let implicit = NodeSpec::Device {
+                device: DeviceNode::Hdd,
+            };
+            components.push((implicit.component(), true));
+        }
+        for (c, implicit) in &components {
+            lines.push(format!(
+                "  {:<10} {:>5} -> {:<5}  {}{}",
+                c.kind(),
+                c.input().to_string(),
+                c.output().to_string(),
+                c.describe(),
+                if *implicit { " [implicit default]" } else { "" }
+            ));
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TopologySpec;
+
+    #[test]
+    fn chains_are_port_typed() {
+        let spec = TopologySpec::new(vec![
+            NodeSpec::Collective,
+            NodeSpec::Sieving { enabled: true },
+            NodeSpec::Prefetch { window_kb: 128 },
+            NodeSpec::Pfs { servers: 4 },
+            NodeSpec::Net {
+                loss_rate: None,
+                retransmit_delay_ms: None,
+                record: None,
+            },
+            NodeSpec::Device {
+                device: DeviceNode::Hdd,
+            },
+        ]);
+        spec.validate().unwrap();
+        let comps: Vec<_> = spec.nodes().iter().map(|n| n.component()).collect();
+        assert_eq!(comps.first().unwrap().input(), PortKind::App);
+        assert_eq!(comps.last().unwrap().output(), PortKind::Block);
+        for pair in comps.windows(2) {
+            assert_eq!(pair[0].output(), pair[1].input());
+        }
+    }
+
+    #[test]
+    fn render_shows_ports_and_implicit_device() {
+        let out =
+            TopologySpec::new(vec![NodeSpec::Pfs { servers: 2 }]).render(Some("test workload"));
+        assert!(out.contains("Workload"), "{out}");
+        assert!(out.contains("app -> file"), "{out}");
+        assert!(out.contains("[implicit default]"), "{out}");
+        let lossy = TopologySpec::new(vec![
+            NodeSpec::Pfs { servers: 2 },
+            NodeSpec::Net {
+                loss_rate: Some(0.02),
+                retransmit_delay_ms: None,
+                record: Some(true),
+            },
+        ])
+        .render(None);
+        assert!(lossy.contains("loss rate 0.02"), "{lossy}");
+        assert!(lossy.contains("recording network-layer spans"), "{lossy}");
+    }
+}

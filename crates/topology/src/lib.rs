@@ -1,0 +1,52 @@
+//! Composable I/O stack topologies.
+//!
+//! Every experiment in this repository simulates the same vertical path: an
+//! application workload issues requests, zero or more middleware layers
+//! transform them (collective exchange, data sieving, read-ahead), a file
+//! system maps them onto servers, a network carries remote chunks, and a
+//! device executes them. Historically that path was hardcoded in the
+//! experiment runner; this crate re-expresses it as a *component graph* —
+//! a linear chain of typed nodes that can be declared as data:
+//!
+//! ```text
+//! Workload -> [Collective | Sieving | Prefetch]* -> {LocalFs | Pfs} -> Net -> Device
+//! ```
+//!
+//! The pieces:
+//!
+//! * [`NodeSpec`] — one declarable node (serde-friendly; this is what a
+//!   scenario JSON `"topology"` array contains).
+//! * [`TopologySpec`] — an ordered list of nodes plus validation that the
+//!   chain is well-typed (exactly one file system, middleware above it,
+//!   `Net` only above a parallel file system, `Device` last).
+//! * [`Component`] — the behavioural view of a node: its typed input and
+//!   output ports, a human description, and an `install` hook that
+//!   contributes its configuration to a [`StackBuilder`].
+//! * [`TopologySpec::build`] — folds the components into the existing
+//!   engine types ([`bps_middleware::stack::IoStack`] over
+//!   [`bps_fs::cluster::Cluster`]), so a declared graph runs on exactly
+//!   the same simulation loop as the historical hardcoded stacks.
+//!
+//! The prebuilt constructors [`TopologySpec::local`] and
+//! [`TopologySpec::pfs`] reproduce those historical stacks node for node:
+//! an experiment that omits `"topology"` gets a byte-identical run.
+
+pub mod build;
+pub mod component;
+pub mod spec;
+
+pub use crate::build::{BuildEnv, BuiltStack, Layout, StackBuilder};
+pub use crate::component::{Component, PortKind};
+pub use crate::spec::{DeviceNode, NodeSpec, TopologySpec, VALID_COMPONENTS};
+
+/// A topology that cannot be validated or built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyError(pub String);
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TopologyError {}

@@ -1,0 +1,478 @@
+//! Declarable topology nodes and the validated node list.
+//!
+//! [`NodeSpec`] is the serde surface: what a scenario JSON `"topology"`
+//! array contains. [`TopologySpec`] wraps the ordered list and owns the
+//! structural rules (exactly one file system, middleware above it, `Net`
+//! only above `Pfs`, `Device` last). Behaviour lives in
+//! [`crate::component`]; assembly lives in [`crate::build`].
+
+use crate::TopologyError;
+use bps_core::time::Dur;
+use bps_fs::cluster::DeviceSpec;
+use bps_sim::device::hdd::HddProfile;
+use bps_sim::device::ssd::SsdProfile;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// The component kinds a topology may contain, in canonical stack order.
+/// Used verbatim in unknown-component error messages.
+pub const VALID_COMPONENTS: [&str; 7] = [
+    "Collective",
+    "Sieving",
+    "Prefetch",
+    "LocalFs",
+    "Pfs",
+    "Net",
+    "Device",
+];
+
+/// Which device model sits at the bottom of the stack.
+///
+/// Profiles are the calibrated ones the paper's experiments use; a node
+/// selects a profile rather than re-specifying raw device parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeviceNode {
+    /// Rotating disk: the SATA 7200 rpm, 250 GB profile.
+    Hdd,
+    /// Flash SSD: the PCIe x4, 100 GB profile.
+    Ssd,
+    /// RAID-0 array of SATA member disks.
+    Raid0 {
+        /// Number of member disks.
+        members: usize,
+    },
+    /// Constant-cost device (calibration and tests).
+    Ram {
+        /// Fixed per-op latency in microseconds.
+        fixed_us: u64,
+        /// Bytes per second.
+        rate: u64,
+        /// Capacity in bytes.
+        capacity: u64,
+    },
+}
+
+impl DeviceNode {
+    /// Lower to the cluster's device specification.
+    pub fn to_spec(&self) -> DeviceSpec {
+        match self {
+            DeviceNode::Hdd => DeviceSpec::Hdd(HddProfile::sata_7200_250gb()),
+            DeviceNode::Ssd => DeviceSpec::Ssd(SsdProfile::pcie_x4_100gb()),
+            DeviceNode::Raid0 { members } => DeviceSpec::Raid0 {
+                member: HddProfile::sata_7200_250gb(),
+                members: *members,
+            },
+            DeviceNode::Ram {
+                fixed_us,
+                rate,
+                capacity,
+            } => DeviceSpec::Ram {
+                fixed: Dur::from_micros(*fixed_us),
+                rate: *rate,
+                capacity: *capacity,
+            },
+        }
+    }
+}
+
+/// One declarable node of the component graph.
+///
+/// In JSON a unit node is a bare string (`"Collective"`) and a configured
+/// node is a single-key object (`{"Pfs": {"servers": 4}}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeSpec {
+    /// Two-phase collective I/O marker. Group size always follows the
+    /// workload's process count, so this node documents the exchange
+    /// layer rather than configuring it.
+    Collective,
+    /// Data sieving for noncontiguous requests.
+    Sieving {
+        /// `true` for ROMIO-default covering reads, `false` for one file
+        /// system request per region.
+        enabled: bool,
+    },
+    /// Sequential read-ahead.
+    Prefetch {
+        /// Window fetched beyond each sequential read, in KB.
+        window_kb: u64,
+    },
+    /// Local file system on a single server.
+    LocalFs {
+        /// Optional per-call overhead in microseconds (`null` for the
+        /// profile default).
+        overhead_us: Option<u64>,
+    },
+    /// Striped parallel file system.
+    Pfs {
+        /// Number of I/O servers.
+        servers: usize,
+    },
+    /// The client/server interconnect (Gigabit Ethernet model).
+    Net {
+        /// Probability a payload transfer is lost and retransmitted;
+        /// `null` or `0.0` for a lossless link.
+        loss_rate: Option<f64>,
+        /// Retransmit timeout in milliseconds (defaults to 10).
+        retransmit_delay_ms: Option<u64>,
+        /// Emit `Layer::Network` records for each remote chunk's payload
+        /// leg (defaults to `false`; network records never count toward
+        /// the paper's four metrics).
+        record: Option<bool>,
+    },
+    /// The storage device on each server.
+    Device {
+        /// Device model selector.
+        device: DeviceNode,
+    },
+}
+
+impl NodeSpec {
+    /// The component kind name, matching [`VALID_COMPONENTS`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NodeSpec::Collective => "Collective",
+            NodeSpec::Sieving { .. } => "Sieving",
+            NodeSpec::Prefetch { .. } => "Prefetch",
+            NodeSpec::LocalFs { .. } => "LocalFs",
+            NodeSpec::Pfs { .. } => "Pfs",
+            NodeSpec::Net { .. } => "Net",
+            NodeSpec::Device { .. } => "Device",
+        }
+    }
+}
+
+/// An ordered, validated component chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySpec {
+    nodes: Vec<NodeSpec>,
+}
+
+impl TopologySpec {
+    /// Wrap a node list. Call [`TopologySpec::validate`] before building.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        TopologySpec { nodes }
+    }
+
+    /// The nodes, in declaration order.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The prebuilt single-server stack the runner's `Hdd`/`Ssd` storage
+    /// historically hardcoded: a local file system straight onto `device`.
+    pub fn local(device: DeviceNode) -> Self {
+        TopologySpec::new(vec![
+            NodeSpec::LocalFs { overhead_us: None },
+            NodeSpec::Device { device },
+        ])
+    }
+
+    /// The prebuilt parallel stack the runner's `Pvfs` storage
+    /// historically hardcoded: a striped file system over `servers`
+    /// servers, each chunk crossing a lossless Gigabit link to an HDD.
+    pub fn pfs(servers: usize) -> Self {
+        TopologySpec::new(vec![
+            NodeSpec::Pfs { servers },
+            NodeSpec::Net {
+                loss_rate: None,
+                retransmit_delay_ms: None,
+                record: None,
+            },
+            NodeSpec::Device {
+                device: DeviceNode::Hdd,
+            },
+        ])
+    }
+
+    /// Check the structural rules of the chain. Errors name the offending
+    /// node by index and kind.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let err = |i: usize, kind: &str, msg: &str| {
+            Err(TopologyError(format!("topology node {i} ({kind}): {msg}")))
+        };
+        if self.nodes.is_empty() {
+            return Err(TopologyError(
+                "topology must contain at least one node (a `LocalFs` or `Pfs` file system)".into(),
+            ));
+        }
+        let mut fs_at: Option<usize> = None;
+        let mut net_at: Option<usize> = None;
+        let mut middleware_seen: Vec<&'static str> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let kind = node.kind();
+            match node {
+                NodeSpec::Collective | NodeSpec::Sieving { .. } | NodeSpec::Prefetch { .. } => {
+                    if fs_at.is_some() {
+                        return err(
+                            i,
+                            kind,
+                            "middleware layers must come before the file-system node",
+                        );
+                    }
+                    if middleware_seen.contains(&kind) {
+                        return err(i, kind, "each middleware layer may appear at most once");
+                    }
+                    if let NodeSpec::Prefetch { window_kb: 0 } = node {
+                        return err(i, kind, "read-ahead window must be positive");
+                    }
+                    middleware_seen.push(kind);
+                }
+                NodeSpec::LocalFs { .. } | NodeSpec::Pfs { .. } => {
+                    if fs_at.is_some() {
+                        return err(
+                            i,
+                            kind,
+                            "a topology has exactly one file-system node, found a second",
+                        );
+                    }
+                    if let NodeSpec::Pfs { servers: 0 } = node {
+                        return err(i, kind, "a parallel file system needs at least one server");
+                    }
+                    fs_at = Some(i);
+                }
+                NodeSpec::Net { .. } => {
+                    match fs_at.map(|at| &self.nodes[at]) {
+                        None => {
+                            return err(i, kind, "`Net` must come after the file-system node");
+                        }
+                        Some(NodeSpec::LocalFs { .. }) => {
+                            return err(
+                                i,
+                                kind,
+                                "`Net` is only meaningful above a `Pfs` node (local file system I/O never crosses the interconnect)",
+                            );
+                        }
+                        Some(_) => {}
+                    }
+                    if net_at.is_some() {
+                        return err(i, kind, "at most one `Net` node is allowed");
+                    }
+                    if let NodeSpec::Net {
+                        loss_rate: Some(rate),
+                        ..
+                    } = node
+                    {
+                        if !(0.0..1.0).contains(rate) {
+                            return err(i, kind, "loss_rate must be in [0, 1)");
+                        }
+                    }
+                    net_at = Some(i);
+                }
+                NodeSpec::Device { device } => {
+                    if fs_at.is_none() {
+                        return err(i, kind, "`Device` must come after the file-system node");
+                    }
+                    if i + 1 != self.nodes.len() {
+                        return err(i, kind, "`Device` must be the last node");
+                    }
+                    match device {
+                        DeviceNode::Raid0 { members: 0 } => {
+                            return err(i, kind, "a RAID-0 array needs at least one member");
+                        }
+                        DeviceNode::Ram { rate: 0, .. } => {
+                            return err(i, kind, "a RAM device needs a positive byte rate");
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if fs_at.is_none() {
+            return Err(TopologyError(
+                "topology needs exactly one file-system node (`LocalFs` or `Pfs`)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The kind name of a raw JSON topology entry: a bare string, or the key
+/// of a single-key object.
+fn entry_kind(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(s) => Some(s.clone()),
+        Value::Object(fields) if fields.len() == 1 => Some(fields[0].0.clone()),
+        _ => None,
+    }
+}
+
+impl Serialize for TopologySpec {
+    fn to_value(&self) -> Value {
+        Value::Array(self.nodes.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Deserialize for TopologySpec {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = match v {
+            Value::Array(items) => items,
+            other => {
+                return Err(Error(format!(
+                    "topology must be an array of component nodes, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        let mut nodes = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let kind = entry_kind(item).ok_or_else(|| {
+                Error(format!(
+                    "topology node {i}: expected a component name or a single-key object, got {}",
+                    item.kind()
+                ))
+            })?;
+            if !VALID_COMPONENTS.contains(&kind.as_str()) {
+                return Err(Error(format!(
+                    "topology node {i}: unknown component `{kind}` (valid components: {})",
+                    VALID_COMPONENTS.join(", ")
+                )));
+            }
+            let node = NodeSpec::from_value(item)
+                .map_err(|e| Error(format!("topology node {i} ({kind}): {e}")))?;
+            nodes.push(node);
+        }
+        Ok(TopologySpec::new(nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(json: &str) -> Result<TopologySpec, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    #[test]
+    fn prebuilt_topologies_validate() {
+        TopologySpec::local(DeviceNode::Hdd).validate().unwrap();
+        TopologySpec::local(DeviceNode::Ssd).validate().unwrap();
+        TopologySpec::pfs(4).validate().unwrap();
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_every_node_kind() {
+        let spec = TopologySpec::new(vec![
+            NodeSpec::Collective,
+            NodeSpec::Sieving { enabled: false },
+            NodeSpec::Prefetch { window_kb: 256 },
+            NodeSpec::Pfs { servers: 4 },
+            NodeSpec::Net {
+                loss_rate: Some(0.01),
+                retransmit_delay_ms: Some(5),
+                record: Some(true),
+            },
+            NodeSpec::Device {
+                device: DeviceNode::Raid0 { members: 3 },
+            },
+        ]);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = parse(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn bare_string_and_object_forms_parse() {
+        let spec =
+            parse(r#"["Collective", {"Pfs": {"servers": 2}}, {"Device": {"device": "Ssd"}}]"#)
+                .unwrap();
+        assert_eq!(spec.nodes()[0], NodeSpec::Collective);
+        assert_eq!(spec.nodes()[1], NodeSpec::Pfs { servers: 2 });
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_component_names_the_node_and_lists_valid_kinds() {
+        let e = parse(r#"[{"Pfs": {"servers": 2}}, "Cache"]"#).unwrap_err();
+        assert_eq!(
+            e.0,
+            "topology node 1: unknown component `Cache` (valid components: \
+             Collective, Sieving, Prefetch, LocalFs, Pfs, Net, Device)"
+        );
+    }
+
+    #[test]
+    fn malformed_node_errors_carry_index_and_kind() {
+        let e = parse(r#"[{"Pfs": {"servers": "four"}}]"#).unwrap_err();
+        assert!(e.0.starts_with("topology node 0 (Pfs):"), "{}", e.0);
+        let e = parse(r#"[42]"#).unwrap_err();
+        assert!(e.0.contains("expected a component name"), "{}", e.0);
+    }
+
+    #[test]
+    fn structural_rules_are_enforced() {
+        let bad = |nodes: Vec<NodeSpec>, needle: &str| {
+            let e = TopologySpec::new(nodes).validate().unwrap_err();
+            assert!(e.0.contains(needle), "{}", e.0);
+        };
+        bad(vec![], "at least one node");
+        bad(vec![NodeSpec::Collective], "exactly one file-system node");
+        bad(
+            vec![
+                NodeSpec::LocalFs { overhead_us: None },
+                NodeSpec::Pfs { servers: 2 },
+            ],
+            "found a second",
+        );
+        bad(
+            vec![
+                NodeSpec::LocalFs { overhead_us: None },
+                NodeSpec::Collective,
+            ],
+            "before the file-system node",
+        );
+        bad(
+            vec![
+                NodeSpec::Collective,
+                NodeSpec::Collective,
+                NodeSpec::Pfs { servers: 2 },
+            ],
+            "at most once",
+        );
+        bad(
+            vec![
+                NodeSpec::LocalFs { overhead_us: None },
+                NodeSpec::Net {
+                    loss_rate: None,
+                    retransmit_delay_ms: None,
+                    record: None,
+                },
+            ],
+            "only meaningful above a `Pfs`",
+        );
+        bad(
+            vec![
+                NodeSpec::Device {
+                    device: DeviceNode::Hdd,
+                },
+                NodeSpec::LocalFs { overhead_us: None },
+            ],
+            "after the file-system node",
+        );
+        bad(
+            vec![
+                NodeSpec::Pfs { servers: 2 },
+                NodeSpec::Device {
+                    device: DeviceNode::Hdd,
+                },
+                NodeSpec::Net {
+                    loss_rate: None,
+                    retransmit_delay_ms: None,
+                    record: None,
+                },
+            ],
+            "last node",
+        );
+        bad(vec![NodeSpec::Pfs { servers: 0 }], "at least one server");
+        bad(
+            vec![
+                NodeSpec::Pfs { servers: 2 },
+                NodeSpec::Net {
+                    loss_rate: Some(1.5),
+                    retransmit_delay_ms: None,
+                    record: None,
+                },
+            ],
+            "loss_rate",
+        );
+    }
+}

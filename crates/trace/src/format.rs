@@ -42,6 +42,9 @@ fn op_layer_flags(op: IoOp, layer: Layer) -> u8 {
         Layer::FileSystem => 1,
         Layer::Device => 2,
         Layer::Retry => 3,
+        // Network was added after the 2-bit encodings above shipped; it
+        // takes the first 3-bit code so old traces decode unchanged.
+        Layer::Network => 4,
     };
     op_bit | (layer_bits << 1)
 }
@@ -52,10 +55,11 @@ fn decode_flags(flags: u8) -> (IoOp, Layer) {
     } else {
         IoOp::Write
     };
-    let layer = match (flags >> 1) & 0b11 {
+    let layer = match (flags >> 1) & 0b111 {
         0 => Layer::Application,
         1 => Layer::FileSystem,
         2 => Layer::Device,
+        4 => Layer::Network,
         _ => Layer::Retry,
     };
     (op, layer)
@@ -279,6 +283,7 @@ mod tests {
             Layer::FileSystem,
             Layer::Device,
             Layer::Retry,
+            Layer::Network,
         ]
         .into_iter()
         .enumerate()
@@ -299,6 +304,7 @@ mod tests {
             assert_eq!(x.layer, y.layer);
         }
         assert_eq!(back.records()[3].layer, Layer::Retry);
+        assert_eq!(back.records()[4].layer, Layer::Network);
     }
 
     #[test]

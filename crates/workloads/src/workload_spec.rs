@@ -114,6 +114,55 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// One-line human description of the generator, for topology renderers
+    /// and debug listings (no validation; mirrors the spec fields).
+    pub fn summary(&self) -> String {
+        match self {
+            WorkloadSpec::Iozone {
+                mode,
+                file_size,
+                record_size,
+                processes,
+                ..
+            } => format!(
+                "IOzone {mode:?}: {file_size} B/file, {record_size} B records, {processes} proc"
+            ),
+            WorkloadSpec::Ior {
+                file_size,
+                transfer_size,
+                processes,
+                write,
+            } => format!(
+                "IOR shared-file {}: {file_size} B total, {transfer_size} B transfers, {processes} proc",
+                if *write { "write" } else { "read" }
+            ),
+            WorkloadSpec::Hpio {
+                region_count,
+                region_size,
+                processes,
+                collective,
+                ..
+            } => format!(
+                "HPIO {}: {region_count} regions x {region_size} B, {processes} proc",
+                if *collective {
+                    "collective"
+                } else {
+                    "independent"
+                }
+            ),
+            WorkloadSpec::Synthetic {
+                ops_per_process,
+                read_fraction,
+                processes,
+                ..
+            } => format!(
+                "Synthetic mix: {ops_per_process} ops/proc, {:.0}% reads, {processes} proc",
+                read_fraction * 100.0
+            ),
+            WorkloadSpec::Replay { path } => format!("Replay of `{path}`"),
+        }
+    }
+
     /// Validate the spec and construct the described generator.
     pub fn build(&self) -> Result<Box<dyn Workload>, BuildError> {
         match self.clone() {

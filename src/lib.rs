@@ -9,6 +9,7 @@
 //! * [`fs`] — local and PVFS2-like striped parallel file systems.
 //! * [`middleware`] — POSIX/MPI-IO layers, data sieving, collective I/O.
 //! * [`workloads`] — IOzone-, IOR- and HPIO-like generators.
+//! * [`topology`] — composable component-graph stack topologies.
 //! * [`trace`] — recorders, collectors, formats, the real-file tracer.
 //! * [`experiments`] — the per-figure reproduction harness.
 
@@ -17,6 +18,7 @@ pub use bps_experiments as experiments;
 pub use bps_fs as fs;
 pub use bps_middleware as middleware;
 pub use bps_sim as sim;
+pub use bps_topology as topology;
 pub use bps_trace as trace;
 pub use bps_workloads as workloads;
 

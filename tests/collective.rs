@@ -62,6 +62,7 @@ fn run(w: &Interleaved, seed: u64) -> bps::core::trace::Trace {
         jitter: Jitter::NONE,
         seed,
         record_device_layer: false,
+        record_net_layer: false,
         fault: bps::sim::fault::FaultPlan::none(),
     });
     let mut pfs = ParallelFs::new(4);
