@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod block;
 pub mod correlation;
 pub mod error;
@@ -60,6 +61,7 @@ pub mod window;
 
 /// Convenient glob-import surface for downstream crates and examples.
 pub mod prelude {
+    pub use crate::batch::RecordBatch;
     pub use crate::block::{blocks_for_bytes, BLOCK_SIZE};
     pub use crate::correlation::{normalized_cc, pearson, CcOutcome};
     pub use crate::extent::Extent;

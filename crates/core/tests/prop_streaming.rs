@@ -1,6 +1,7 @@
 //! Property tests: the streaming observer path is *exactly* the
 //! materialize-then-compute path — bit-for-bit, not approximately.
 
+use bps_core::batch::RecordBatch;
 use bps_core::interval::{union_time, Interval, OnlineUnion};
 use bps_core::metrics::{registry, Arpt, Bandwidth, Bps, FoldNeeds, Iops, Metric};
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
@@ -209,6 +210,112 @@ proptest! {
                 bits(m.finish(&seq)),
                 bits(m.finish(&bat)),
                 "{}: per-record vs push_batch", m.name()
+            );
+        }
+    }
+
+    /// Columnar ingestion ([`RecordSink::push_columns`]) is bit-identical
+    /// to per-record ingestion on the same stream, for every way of
+    /// cutting the stream into batches — including single-layer batches
+    /// (the vectorized fast path) and mixed-layer ones (the row-wise
+    /// fallback) — and the `Trace` sink preserves exact record order.
+    #[test]
+    fn push_columns_equals_per_record(
+        recs in records(),
+        cuts in proptest::collection::vec(1usize..8, 0..24),
+    ) {
+        let mut seq = StreamingMetrics::with_needs(FoldNeeds::ALL);
+        let mut trace_seq = Trace::new();
+        for r in &recs {
+            seq.on_record(r);
+            trace_seq.on_record(r);
+        }
+        let mut col = StreamingMetrics::with_needs(FoldNeeds::ALL);
+        let mut plain = StreamingMetrics::new();
+        let mut trace_col = Trace::new();
+        col.push_columns(&RecordBatch::new()); // empty batches are no-ops
+        let mut rest = &recs[..];
+        let mut cuts = cuts.iter();
+        while !rest.is_empty() {
+            let k = cuts.next().copied().unwrap_or(rest.len()).min(rest.len());
+            let (chunk, tail) = rest.split_at(k);
+            let batch = RecordBatch::from_records(chunk);
+            col.push_columns(&batch);
+            plain.push_columns(&batch);
+            trace_col.push_columns(&batch);
+            rest = tail;
+        }
+        for m in registry().all() {
+            prop_assert_eq!(
+                bits(m.finish(&seq)),
+                bits(m.finish(&col)),
+                "{}: per-record vs push_columns", m.name()
+            );
+        }
+        prop_assert_eq!(bits(plain.bps()), bits(seq.bps()));
+        prop_assert_eq!(bits(plain.bandwidth()), bits(seq.bandwidth()));
+        prop_assert_eq!(seq.execution_time(), col.execution_time());
+        prop_assert_eq!(seq.len(), col.len());
+        for layer in [
+            Layer::Application,
+            Layer::FileSystem,
+            Layer::Device,
+            Layer::Network,
+            Layer::Retry,
+        ] {
+            prop_assert_eq!(seq.op_count(layer), col.op_count(layer));
+            prop_assert_eq!(
+                seq.overlapped_io_time(layer),
+                col.overlapped_io_time(layer)
+            );
+        }
+        prop_assert_eq!(trace_seq.records(), trace_col.records());
+    }
+
+    /// Single-layer batches take the branch-free columnar fast path;
+    /// its sums and union must still be bit-identical to per-record
+    /// ingestion of the same rows.
+    #[test]
+    fn push_columns_uniform_layer_fast_path(recs in records()) {
+        for layer in [Layer::Application, Layer::FileSystem, Layer::Device] {
+            let rows: Vec<IoRecord> =
+                recs.iter().filter(|r| r.layer == layer).copied().collect();
+            let mut seq = StreamingMetrics::new();
+            for r in &rows {
+                seq.on_record(r);
+            }
+            let batch = RecordBatch::from_records(&rows);
+            prop_assert!(batch.is_empty() || batch.uniform_layer() == Some(layer));
+            let mut col = StreamingMetrics::new();
+            col.push_columns(&batch);
+            prop_assert_eq!(seq.op_count(layer), col.op_count(layer));
+            prop_assert_eq!(seq.bytes(layer), col.bytes(layer));
+            prop_assert_eq!(seq.blocks(layer), col.blocks(layer));
+            prop_assert_eq!(seq.summed_io_time(layer), col.summed_io_time(layer));
+            prop_assert_eq!(
+                seq.overlapped_io_time(layer),
+                col.overlapped_io_time(layer)
+            );
+            prop_assert_eq!(seq.execution_time(), col.execution_time());
+        }
+    }
+
+    /// Every registry metric's [`MetricFold::fold_columns`] — the paper
+    /// four's vectorized overrides and the default for the rest — agrees
+    /// bit-for-bit with the per-record streaming path over the whole
+    /// stream as one batch.
+    #[test]
+    fn fold_columns_equals_per_record(recs in records()) {
+        let mut seq = StreamingMetrics::with_needs(FoldNeeds::ALL);
+        for r in &recs {
+            seq.on_record(r);
+        }
+        let batch = RecordBatch::from_records(&recs);
+        for m in registry().all() {
+            prop_assert_eq!(
+                bits(m.finish(&seq)),
+                bits(m.fold_columns(&batch)),
+                "{}: per-record vs fold_columns", m.name()
             );
         }
     }

@@ -1,0 +1,57 @@
+//! Stamp the build with a fingerprint of every workspace source file.
+//!
+//! The persistent case store (`scenario::store`) refuses to replay
+//! entries written by a different build: a stale binary must recompute,
+//! never serve results a code change may have invalidated. The stamp is
+//! an FNV-1a hash over every `.rs` file under `crates/` and `vendor/`,
+//! keyed by workspace-relative path so the checkout location does not
+//! perturb it.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let path = e.path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").expect("CARGO_MANIFEST_DIR");
+    let root = Path::new(&manifest).join("../..");
+    let mut files = Vec::new();
+    for top in ["crates", "vendor"] {
+        collect(&root.join(top), &mut files);
+    }
+    // Sort by workspace-relative path for a machine-independent order.
+    files.sort_by_key(|f| f.strip_prefix(&root).unwrap_or(f).to_path_buf());
+    let mut h = FNV_OFFSET;
+    for f in &files {
+        let rel = f.strip_prefix(&root).unwrap_or(f);
+        fnv1a(&mut h, rel.to_string_lossy().as_bytes());
+        fnv1a(&mut h, &[0]);
+        if let Ok(text) = fs::read(f) {
+            fnv1a(&mut h, &text);
+        }
+        println!("cargo:rerun-if-changed={}", f.display());
+    }
+    println!("cargo:rustc-env=BPS_CODE_FINGERPRINT={h:016x}");
+}

@@ -14,6 +14,8 @@
 //! reproduce fig4 --metrics BPS,p99 # score a custom metric selection
 //! reproduce fig4 --journal r.jsonl # checkpoint every finished unit
 //! reproduce resume r.jsonl         # pick the run back up, skipping done units
+//! reproduce cache stats            # the persistent case store, by the numbers
+//! reproduce all --no-cache         # bypass the persistent store for one run
 //! ```
 
 use bps_experiments::export;
@@ -23,7 +25,7 @@ use bps_experiments::figures::{
 };
 use bps_experiments::journal::{self, Journal};
 use bps_experiments::scale::Scale;
-use bps_experiments::scenario::{engine, registry, spec::Scenario};
+use bps_experiments::scenario::{engine, registry, spec::Scenario, store};
 use bps_experiments::supervise::{self, FailureKind};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -54,13 +56,14 @@ const TARGETS: [&str; 19] = [
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce <target>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>] [--metrics a,b,c]\n\
-         \x20                       [--journal <path>] [--deadline-ms <n>] [--max-failures <n>]\n\
+         \x20                       [--journal <path>] [--deadline-ms <n>] [--max-failures <n>] [--no-cache]\n\
          \x20      reproduce list [filter]\n\
          \x20      reproduce metrics\n\
          \x20      reproduce run <name|path.json>... [same flags as above]\n\
          \x20      reproduce check <path.json>...\n\
          \x20      reproduce topology <name|path.json>... [--quick|--tiny|--paper]\n\
          \x20      reproduce resume <journal> [extra flags]\n\
+         \x20      reproduce cache stats|verify|clear\n\
          targets: all, {}\n\
          threads: --threads <n> outranks the BPS_THREADS environment variable;\n\
          \x20        with neither set, the machine's available parallelism is used\n\
@@ -71,6 +74,10 @@ fn usage() -> ! {
          \x20        rest, byte-identical to an uninterrupted run. --deadline-ms bounds\n\
          \x20        each unit's wall-clock time (a scenario's own `deadline_ms` outranks\n\
          \x20        it); --max-failures N aborts once more than N units fail\n\
+         cache: scored cases persist in a content-addressed store (default\n\
+         \x20        target/bps-cache, BPS_CACHE_DIR overrides) and replay bit-exactly in\n\
+         \x20        later runs; BPS_CACHE=0 or --no-cache bypasses it. `reproduce cache`\n\
+         \x20        prints stats, names unservable entries, or clears the store\n\
          exit codes: 0 ok; 1 expectation violations or unknown name; 2 usage;\n\
          \x20        3 invalid scenario; 4 I/O error; 5 unit panicked; 6 unit timed out;\n\
          \x20        7 failure budget exceeded; 130 interrupted (journal flushed)",
@@ -237,6 +244,51 @@ fn parse_metrics_flag(arg: &str) -> Vec<String> {
     names
 }
 
+/// `reproduce cache stats|verify|clear` — inspect or manage the
+/// persistent case store (the directory `BPS_CACHE_DIR` selects, or the
+/// build's default). `verify` exits 1 when any entry is unservable.
+fn cmd_cache(op: &str) -> ! {
+    let s = store::CaseStore::at(store::env_dir());
+    match op {
+        "stats" => {
+            let st = s.stats();
+            println!("cache directory: {}", s.dir().display());
+            println!("build fingerprint: {}", store::code_fingerprint());
+            println!(
+                "entries: {} ({} fresh, {} stale, {} corrupt), {} bytes",
+                st.entries, st.fresh, st.stale, st.corrupt, st.bytes
+            );
+            std::process::exit(0);
+        }
+        "verify" => {
+            let (checked, problems) = s.verify();
+            for p in &problems {
+                println!("{}: {}", p.file, p.reason);
+            }
+            println!(
+                "verified {checked} entries: {}",
+                if problems.is_empty() {
+                    "all servable".to_string()
+                } else {
+                    format!("{} unservable", problems.len())
+                }
+            );
+            std::process::exit(if problems.is_empty() { 0 } else { 1 });
+        }
+        "clear" => match s.clear() {
+            Ok(n) => {
+                println!("cleared {n} entries from {}", s.dir().display());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: cannot clear {}: {e}", s.dir().display());
+                std::process::exit(FailureKind::Io.exit_code());
+            }
+        },
+        _ => usage(),
+    }
+}
+
 fn cmd_check(paths: &[String]) {
     for p in paths {
         let sc = match engine::load_path(Path::new(p)) {
@@ -393,6 +445,7 @@ fn main() {
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut journal_path: Option<PathBuf> = None;
+    let mut no_cache = false;
     // The arguments a fresh journal stores in its header: everything
     // except the `--journal <path>` pair (resume installs its own).
     let mut header_args: Vec<String> = Vec::new();
@@ -466,6 +519,7 @@ fn main() {
             }
             "--deadline-ms" => expect_deadline = true,
             "--max-failures" => expect_max_failures = true,
+            "--no-cache" => no_cache = true,
             other if other.starts_with("--") => usage(),
             other => targets.push(other.to_string()),
         }
@@ -498,7 +552,22 @@ fn main() {
         activate_journal(Arc::new(j));
     }
 
+    // Make the persistent case store live for anything that runs cases;
+    // `--no-cache` or BPS_CACHE=0 leaves the engine memo-only.
+    if !no_cache {
+        if let Some(s) = store::from_env() {
+            store::set_active(Some(Arc::new(s)));
+        }
+    }
+
     match targets[0].as_str() {
+        "cache" => {
+            let op = match targets.as_slice() {
+                [_, op] => op.as_str(),
+                _ => usage(),
+            };
+            cmd_cache(op);
+        }
         "list" => {
             if targets.len() > 2 {
                 usage();

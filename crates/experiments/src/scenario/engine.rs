@@ -547,6 +547,14 @@ fn case_key(case: &ResolvedCase, scale: &Scale, selection: &MetricSelection) -> 
     format!("{c:?}|{scale:?}|{:?}", selection.names())
 }
 
+/// Public form of [`case_key`]: the exact content key the two-level
+/// case cache and the run journal index by. Exposed so the key-collision
+/// audit (`tests/prop_cache.rs`) can check that specs differing in any
+/// simulation-feeding field never share a key.
+pub fn content_key(case: &ResolvedCase, scale: &Scale, selection: &MetricSelection) -> String {
+    case_key(case, scale, selection)
+}
+
 /// Build a runnable [`CaseSpec`] from a resolved case and its built
 /// workload — the one translation both execution paths share.
 fn case_spec<'a>(c: &ResolvedCase, w: &'a dyn Workload) -> CaseSpec<'a> {
@@ -809,6 +817,35 @@ pub fn run_with_opts(
         MEMO_MISSES.fetch_add(missing.len() as u64, Ordering::Relaxed);
     }
 
+    // The persistent store (L2) serves cases simulated by *any* process
+    // of this build; hits are promoted into the in-process memo (L1) so
+    // later figures sharing the case skip the disk read. A missing,
+    // stale, or corrupt entry is simply a miss — the case simulates.
+    let disk = if memo_on {
+        crate::scenario::store::active()
+    } else {
+        None
+    };
+    let missing: Vec<usize> = if let Some(store) = &disk {
+        let mut still = Vec::with_capacity(missing.len());
+        for &i in &missing {
+            match store.lookup(&keys[i]) {
+                Some(mut p) => {
+                    memo_cache()
+                        .lock()
+                        .expect("memo cache poisoned")
+                        .insert(keys[i].clone(), p.clone());
+                    p.label = resolved[i].label.clone();
+                    points[i] = Some(p);
+                }
+                None => still.push(i),
+            }
+        }
+        still
+    } else {
+        missing
+    };
+
     if !missing.is_empty() {
         let (fresh, failures) = if opts.supervised() {
             run_cases_supervised(&resolved, &missing, &keys, scale, &selection, exec, opts)
@@ -838,6 +875,11 @@ pub fn run_with_opts(
             let mut cache = memo_cache().lock().expect("memo cache poisoned");
             for (&i, p) in missing.iter().zip(&fresh) {
                 cache.insert(keys[i].clone(), p.clone());
+                // `insert` itself skips failed points — a timeout here
+                // says nothing about the next machine.
+                if let Some(store) = &disk {
+                    store.insert(&keys[i], p);
+                }
             }
         }
         for (&i, p) in missing.iter().zip(fresh) {

@@ -15,6 +15,7 @@
 pub mod engine;
 pub mod registry;
 pub mod spec;
+pub mod store;
 
 pub use engine::{expand, run, run_with, EngineError, ResolvedCase, ScenarioOutput};
 pub use spec::Scenario;

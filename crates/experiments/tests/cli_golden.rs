@@ -19,11 +19,34 @@ fn golden(name: &str) -> String {
 }
 
 fn reproduce(args: &[&str]) -> Output {
+    // BPS_CACHE=0 keeps the harness hermetic: no test here accidentally
+    // serves (or pollutes) the build's shared persistent case store.
+    // The cache tests below opt back in with an isolated BPS_CACHE_DIR.
     Command::new(env!("CARGO_BIN_EXE_reproduce"))
         .args(args)
         .env("BPS_THREADS", "1")
+        .env("BPS_CACHE", "0")
         .output()
         .expect("spawn reproduce")
+}
+
+/// Spawn the binary against an isolated persistent cache directory.
+fn reproduce_cached(args: &[&str], cache_dir: &Path, extra_env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_reproduce"));
+    cmd.args(args)
+        .env("BPS_THREADS", "1")
+        .env("BPS_CACHE_DIR", cache_dir);
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn reproduce")
+}
+
+/// A unique, empty cache directory for one test.
+fn cache_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bps_cli_cache-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
 }
 
 fn stdout_of(args: &[&str]) -> String {
@@ -91,12 +114,14 @@ fn memoization_does_not_change_a_single_byte() {
     let on = Command::new(env!("CARGO_BIN_EXE_reproduce"))
         .args(targets)
         .env("BPS_THREADS", "1")
+        .env("BPS_CACHE", "0")
         .env("BPS_MEMO", "1")
         .output()
         .expect("spawn reproduce");
     let off = Command::new(env!("CARGO_BIN_EXE_reproduce"))
         .args(targets)
         .env("BPS_THREADS", "1")
+        .env("BPS_CACHE", "0")
         .env("BPS_MEMO", "0")
         .output()
         .expect("spawn reproduce");
@@ -436,4 +461,131 @@ fn no_arguments_is_a_usage_error() {
     let out = reproduce(&[]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn warm_cache_rerun_is_byte_identical_across_processes() {
+    // The persistent store's whole contract: a *fresh process* replaying
+    // every case from disk produces the cold run's exact stdout bytes.
+    let dir = cache_dir("warm");
+    let targets = ["fig4", "fig5", "fig9", "--tiny"];
+    let cold = reproduce_cached(&targets, &dir, &[]);
+    assert!(
+        cold.status.success(),
+        "cold: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let expected = format!("{}{}{}", golden("fig4"), golden("fig5"), golden("fig9"));
+    assert_eq!(String::from_utf8_lossy(&cold.stdout), expected);
+    assert!(dir.is_dir(), "cold run must populate {}", dir.display());
+
+    // Warm, fresh process: every case served from disk, same bytes.
+    let warm = reproduce_cached(&targets, &dir, &[]);
+    assert!(warm.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&warm.stdout),
+        expected,
+        "warm cross-process rerun drifted from the cold bytes"
+    );
+
+    // BPS_CACHE=0 bypasses the store and still matches.
+    let off = reproduce_cached(&targets, &dir, &[("BPS_CACHE", "0")]);
+    assert!(off.status.success());
+    assert_eq!(String::from_utf8_lossy(&off.stdout), expected);
+
+    // A parallel warm sweep must also produce the golden bytes.
+    let threaded = reproduce_cached(
+        &["fig4", "fig5", "fig9", "--tiny", "--threads", "4"],
+        &dir,
+        &[],
+    );
+    assert!(threaded.status.success());
+    assert_eq!(String::from_utf8_lossy(&threaded.stdout), expected);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn no_cache_flag_bypasses_the_store() {
+    let dir = cache_dir("nocache");
+    let out = reproduce_cached(&["fig4", "--tiny", "--no-cache"], &dir, &[]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), golden("fig4"));
+    let entries = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert_eq!(entries, 0, "--no-cache must not write {}", dir.display());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_entry_recomputes_silently_and_verify_names_it() {
+    let dir = cache_dir("corrupt");
+    let cold = reproduce_cached(&["fig4", "--tiny"], &dir, &[]);
+    assert!(cold.status.success());
+
+    // Truncate one entry mid-payload — a torn write.
+    let entry = std::fs::read_dir(&dir)
+        .expect("cache populated")
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "case"))
+        .expect("at least one entry");
+    let text = std::fs::read(&entry).unwrap();
+    std::fs::write(&entry, &text[..text.len() / 2]).unwrap();
+
+    // `cache verify` names the torn entry and exits 1.
+    let verify = reproduce_cached(&["cache", "verify"], &dir, &[]);
+    assert_eq!(verify.status.code(), Some(1));
+    let listing = String::from_utf8_lossy(&verify.stdout);
+    let name = entry.file_name().unwrap().to_string_lossy().into_owned();
+    assert!(listing.contains(&name), "{listing}");
+    assert!(listing.contains("corrupt"), "{listing}");
+
+    // The engine treats it as a miss: recomputes silently, same bytes.
+    let warm = reproduce_cached(&["fig4", "--tiny"], &dir, &[]);
+    assert!(warm.status.success());
+    assert_eq!(String::from_utf8_lossy(&warm.stdout), golden("fig4"));
+
+    // The recompute rewrote the entry; the store is healthy again.
+    let verify = reproduce_cached(&["cache", "verify"], &dir, &[]);
+    assert_eq!(verify.status.code(), Some(0), "store should be repaired");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_stats_verify_clear_round_trip() {
+    let dir = cache_dir("admin");
+    let cold = reproduce_cached(&["fig4", "--tiny"], &dir, &[]);
+    assert!(cold.status.success());
+
+    let stats = reproduce_cached(&["cache", "stats"], &dir, &[]);
+    assert!(stats.status.success());
+    let text = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(text.contains(&dir.display().to_string()), "{text}");
+    assert!(text.contains("build fingerprint:"), "{text}");
+    assert!(!text.contains("entries: 0 "), "{text}");
+    assert!(text.contains("0 stale, 0 corrupt"), "{text}");
+
+    let clear = reproduce_cached(&["cache", "clear"], &dir, &[]);
+    assert!(clear.status.success());
+    assert!(String::from_utf8_lossy(&clear.stdout).contains("cleared"));
+
+    let stats = reproduce_cached(&["cache", "stats"], &dir, &[]);
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("entries: 0 (0 fresh"));
+    let verify = reproduce_cached(&["cache", "verify"], &dir, &[]);
+    assert_eq!(verify.status.code(), Some(0));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_subcommand_rejects_bad_operations() {
+    for bad in [
+        &["cache"][..],
+        &["cache", "wipe"][..],
+        &["cache", "stats", "x"][..],
+    ] {
+        let out = reproduce(bad);
+        assert_eq!(out.status.code(), Some(2), "reproduce {bad:?}");
+    }
 }

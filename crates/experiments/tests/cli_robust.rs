@@ -15,7 +15,9 @@ fn golden(name: &str) -> String {
 
 fn reproduce(args: &[&str], envs: &[(&str, &str)]) -> Output {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_reproduce"));
-    cmd.args(args).env("BPS_THREADS", "1");
+    // Injected failures must actually simulate: a persistent-cache hit
+    // would serve the unit before the hook fires.
+    cmd.args(args).env("BPS_THREADS", "1").env("BPS_CACHE", "0");
     for (k, v) in envs {
         cmd.env(k, v);
     }
@@ -70,6 +72,7 @@ fn sigkill_mid_sweep_then_resume_is_byte_identical_to_the_golden() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_reproduce"))
         .args(["fig4", "--tiny", "--journal", journal.to_str().unwrap()])
         .env("BPS_THREADS", "1")
+        .env("BPS_CACHE", "0")
         .env("BPS_TEST_UNIT_STALL", "pvfs:200")
         .stdout(std::process::Stdio::null())
         .stderr(std::process::Stdio::null())

@@ -194,7 +194,7 @@ proptest! {
                 [None, Some(false), Some(true)][record_sel],
             )),
             loss_permille,
-            device: (device_sel > 0).then_some(device_sel - 1),
+            device: device_sel.checked_sub(1),
         });
         prop_assert!(spec.validate().is_ok(), "{:?}", spec);
 

@@ -7,6 +7,7 @@
 //! each server CPU, and each device is a contended FIFO resource.
 
 use crate::layout::Chunk;
+use bps_core::batch::RecordBatch;
 use bps_core::error::IoError;
 use bps_core::record::{FileId, IoOp, IoRecord, Layer, ProcessId};
 use bps_core::sink::RecordSink;
@@ -154,9 +155,11 @@ pub struct Cluster<S: RecordSink = Trace> {
     /// it as each access completes; experiments read it back at the end of
     /// a run.
     pub sink: S,
-    /// Records completed inside an open batch scope, awaiting one
-    /// [`RecordSink::push_batch`] flush. Empty whenever `batch_depth == 0`.
-    pending: Vec<IoRecord>,
+    /// Records completed inside an open batch scope, buffered in
+    /// structure-of-arrays form and awaiting one
+    /// [`RecordSink::push_columns`] flush. Empty whenever
+    /// `batch_depth == 0`.
+    pending: RecordBatch,
     /// Nesting depth of open [`Cluster::begin_batch`] scopes. At depth 0
     /// every record goes straight to the sink, so callers that never open
     /// a scope (tests poking at `sink` between calls) see records
@@ -220,12 +223,14 @@ impl<S: RecordSink> Cluster<S> {
 
     /// Close a batch scope, flushing buffered records to the sink when the
     /// outermost scope closes. Order of delivery is exactly completion
-    /// order, so batched and unbatched runs feed the sink identically.
+    /// order, so batched and unbatched runs feed the sink identically; the
+    /// buffer is columnar, so column-aware sinks fold it without ever
+    /// reassembling records.
     pub fn end_batch(&mut self) {
         debug_assert!(self.batch_depth > 0, "end_batch without begin_batch");
         self.batch_depth -= 1;
         if self.batch_depth == 0 && !self.pending.is_empty() {
-            self.sink.push_batch(&self.pending);
+            self.sink.push_columns(&self.pending);
             self.pending.clear();
         }
     }
@@ -237,7 +242,7 @@ impl<S: RecordSink> Cluster<S> {
         if self.batch_depth == 0 {
             self.sink.on_record(&record);
         } else {
-            self.pending.push(record);
+            self.pending.push(&record);
         }
     }
 
@@ -524,10 +529,11 @@ impl<S: RecordSink> Cluster<S> {
 
 thread_local! {
     /// Per-thread recycling pool for the batch buffer: a sweep thread
-    /// builds thousands of short-lived clusters, and the buffer's capacity
-    /// survives from one case to the next instead of being reallocated.
-    static PENDING_POOL: std::cell::Cell<Vec<IoRecord>> =
-        const { std::cell::Cell::new(Vec::new()) };
+    /// builds thousands of short-lived clusters, and the buffer's column
+    /// capacities survive from one case to the next instead of being
+    /// reallocated.
+    static PENDING_POOL: std::cell::Cell<RecordBatch> =
+        const { std::cell::Cell::new(RecordBatch::new()) };
 }
 
 impl<S: RecordSink> Drop for Cluster<S> {
