@@ -72,10 +72,14 @@ pub fn issue_with_retry<C: RetryIo>(
     now: Nanos,
     io: &mut C,
 ) -> Result<Nanos, IoError> {
+    use bps_telemetry::Counter;
     let mut t = now;
     let mut attempt = 1u32;
     loop {
         let last = attempt >= policy.max_attempts;
+        if attempt > 1 {
+            bps_telemetry::incr(Counter::RetryAttempts);
+        }
         match io.attempt(t) {
             Ok(done) => {
                 match policy.timeout {
@@ -85,6 +89,7 @@ pub fn issue_with_retry<C: RetryIo>(
                     // slow completion).
                     Some(timeout) if !last && done.since(t) > timeout => {
                         let abandoned = t + timeout;
+                        bps_telemetry::incr(Counter::RetryAbandoned);
                         io.on_abandoned(t, abandoned);
                         t = abandoned + policy.backoff(attempt);
                     }
@@ -94,8 +99,10 @@ pub fn issue_with_retry<C: RetryIo>(
             Err(e) if !e.is_transient() => return Err(e),
             Err(e) => {
                 let detected = e.fail_time().unwrap_or(t);
+                bps_telemetry::incr(Counter::RetryAbandoned);
                 io.on_abandoned(t, detected);
                 if last {
+                    bps_telemetry::incr(Counter::RetryExhausted);
                     return Err(IoError::RetriesExhausted {
                         attempts: attempt,
                         at: detected,

@@ -16,6 +16,9 @@
 //! reproduce resume r.jsonl         # pick the run back up, skipping done units
 //! reproduce cache stats            # the persistent case store, by the numbers
 //! reproduce all --no-cache         # bypass the persistent store for one run
+//! reproduce fig4 --telemetry t.jsonl  # record phase spans, unit timings, counters
+//! reproduce profile fig4 --tiny    # per-phase/per-case time and counter tables
+//! reproduce docs                   # regenerate docs/reference from the registries
 //! ```
 
 use bps_experiments::export;
@@ -28,7 +31,8 @@ use bps_experiments::scale::Scale;
 use bps_experiments::scenario::{engine, registry, spec::Scenario, store};
 use bps_experiments::supervise::{self, FailureKind};
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// The fixed report targets, in `all` order.
 const TARGETS: [&str; 19] = [
@@ -53,6 +57,13 @@ const TARGETS: [&str; 19] = [
     "faults",
 ];
 
+/// Every subcommand, for the unknown-name diagnostic: a first operand
+/// that is neither a subcommand nor a target lists these and exits 2
+/// before anything runs.
+const SUBCOMMANDS: [&str; 9] = [
+    "list", "metrics", "run", "check", "topology", "resume", "cache", "profile", "docs",
+];
+
 fn usage() -> ! {
     eprintln!(
         "usage: reproduce <target>... [--quick|--tiny|--paper] [--csv <dir>] [--threads <n>] [--metrics a,b,c]\n\
@@ -64,6 +75,8 @@ fn usage() -> ! {
          \x20      reproduce topology <name|path.json>... [--quick|--tiny|--paper]\n\
          \x20      reproduce resume <journal> [extra flags]\n\
          \x20      reproduce cache stats|verify|clear\n\
+         \x20      reproduce profile <target>... [--quick|--tiny|--paper]\n\
+         \x20      reproduce docs [--out <dir>]\n\
          targets: all, {}\n\
          threads: --threads <n> outranks the BPS_THREADS environment variable;\n\
          \x20        with neither set, the machine's available parallelism is used\n\
@@ -78,6 +91,10 @@ fn usage() -> ! {
          \x20        target/bps-cache, BPS_CACHE_DIR overrides) and replay bit-exactly in\n\
          \x20        later runs; BPS_CACHE=0 or --no-cache bypasses it. `reproduce cache`\n\
          \x20        prints stats, names unservable entries, or clears the store\n\
+         telemetry: --telemetry <path> records phase spans, per-unit timings, and a\n\
+         \x20        final counter snapshot to a JSONL file; `reproduce profile` prints\n\
+         \x20        the same data as tables; `reproduce docs` regenerates the reference\n\
+         \x20        pages (docs/reference by default) from the live registries\n\
          exit codes: 0 ok; 1 expectation violations or unknown name; 2 usage;\n\
          \x20        3 invalid scenario; 4 I/O error; 5 unit panicked; 6 unit timed out;\n\
          \x20        7 failure budget exceeded; 130 interrupted (journal flushed)",
@@ -105,10 +122,87 @@ fn fail_engine(e: engine::EngineError) -> ! {
     std::process::exit(code);
 }
 
+/// Where `--telemetry` writes its JSONL stream, plus the argv recorded in
+/// the meta line; armed during flag parsing, drained by [`finish`].
+static TELEMETRY_OUT: OnceLock<(PathBuf, Vec<String>)> = OnceLock::new();
+
+/// Microseconds of a span offset, saturating (spans are process-lifetime
+/// scale, far below u64 µs).
+fn us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Render the collector's events and counter snapshot as the JSONL
+/// stream: one `meta` line, `phase`/`unit` lines in completion order, one
+/// final `counters` line.
+fn telemetry_jsonl(argv: &[String]) -> String {
+    use serde::Value;
+    let obj = |pairs: Vec<(&str, Value)>| {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    let mut lines = Vec::new();
+    lines.push(obj(vec![
+        ("kind", Value::Str("meta".to_string())),
+        ("version", Value::UInt(1)),
+        (
+            "args",
+            Value::Array(argv.iter().map(|a| Value::Str(a.clone())).collect()),
+        ),
+    ]));
+    for e in bps_telemetry::drain_events() {
+        lines.push(match e {
+            bps_telemetry::Event::Phase { name, start, end } => obj(vec![
+                ("kind", Value::Str("phase".to_string())),
+                ("name", Value::Str(name)),
+                ("start_us", Value::UInt(us(start))),
+                ("dur_us", Value::UInt(us(end.saturating_sub(start)))),
+            ]),
+            bps_telemetry::Event::Unit {
+                case,
+                seed,
+                start,
+                end,
+            } => obj(vec![
+                ("kind", Value::Str("unit".to_string())),
+                ("case", Value::Str(case)),
+                ("seed", Value::UInt(seed)),
+                ("start_us", Value::UInt(us(start))),
+                ("dur_us", Value::UInt(us(end.saturating_sub(start)))),
+            ]),
+        });
+    }
+    let counters = bps_telemetry::snapshot()
+        .into_iter()
+        .map(|(c, v)| (c.name().to_string(), Value::UInt(v)))
+        .collect();
+    lines.push(obj(vec![
+        ("kind", Value::Str("counters".to_string())),
+        ("counters", Value::Object(counters)),
+    ]));
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&serde_json::to_string(&line).expect("telemetry line encodes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write the armed `--telemetry` stream, if any. Called on every exit
+/// path that follows a run (expectation violations and unit failures
+/// still leave a useful stream behind).
+fn flush_telemetry() {
+    if let Some((path, argv)) = TELEMETRY_OUT.get() {
+        if let Err(e) = std::fs::write(path, telemetry_jsonl(argv)) {
+            eprintln!("warning: cannot write telemetry to {}: {e}", path.display());
+        }
+    }
+}
+
 /// Drain the run's failure ledger, print a per-kind summary, and exit
 /// with the worst kind's code — or with 1 on expectation violations, or
 /// 0 on a clean run.
 fn finish(violations: bool) -> ! {
+    flush_telemetry();
     let failures = supervise::take_recorded_failures();
     if !failures.is_empty() {
         let mut counts: Vec<(FailureKind, usize)> = Vec::new();
@@ -258,6 +352,22 @@ fn cmd_cache(op: &str) -> ! {
                 "entries: {} ({} fresh, {} stale, {} corrupt), {} bytes",
                 st.entries, st.fresh, st.stale, st.corrupt, st.bytes
             );
+            if !st.stale_origins.is_empty() {
+                // Name the foreign builds (fingerprint prefixes) so a
+                // rebuild's orphans are self-explaining.
+                let origins: Vec<String> = st
+                    .stale_origins
+                    .iter()
+                    .map(|(origin, n)| {
+                        let shown = match origin.strip_prefix("build ") {
+                            Some(fp) if fp.len() > 12 => format!("build {}..", &fp[..12]),
+                            _ => origin.clone(),
+                        };
+                        format!("{shown} ({n})")
+                    })
+                    .collect();
+                println!("stale entries by origin: {}", origins.join(", "));
+            }
             std::process::exit(0);
         }
         "verify" => {
@@ -286,6 +396,118 @@ fn cmd_cache(op: &str) -> ! {
             }
         },
         _ => usage(),
+    }
+}
+
+/// `reproduce docs [--out dir]` — render the reference pages from the
+/// live registries into `dir` (default `docs/reference`). Deterministic:
+/// two runs write byte-identical trees.
+fn cmd_docs(out_dir: &Path) -> ! {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        std::process::exit(FailureKind::Io.exit_code());
+    }
+    let pages = bps_experiments::reference::pages();
+    for (name, text) in &pages {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(FailureKind::Io.exit_code());
+        }
+    }
+    eprintln!("wrote {} pages under {}", pages.len(), out_dir.display());
+    std::process::exit(0);
+}
+
+/// Format a span-offset duration as milliseconds with one decimal.
+fn ms(total_us: u64) -> String {
+    format!("{:.1} ms", total_us as f64 / 1000.0)
+}
+
+/// `reproduce profile <target>...` — after the targets ran with the
+/// collector installed, aggregate and print the sorted per-phase and
+/// per-case breakdowns plus every counter that moved.
+fn print_profile(targets: &[&str], scale_label: &str) {
+    let wall = us(bps_telemetry::now()).max(1);
+    let events = bps_telemetry::drain_events();
+    // Aggregate spans: name -> (calls, total µs), first-seen order, then
+    // sorted by total descending (ties by name for determinism).
+    let mut phases: Vec<(String, u64, u64)> = Vec::new();
+    let mut cases: Vec<(String, u64, u64)> = Vec::new();
+    for e in &events {
+        let (table, key, dur) = match e {
+            bps_telemetry::Event::Phase { name, start, end } => {
+                (&mut phases, name.clone(), us(end.saturating_sub(*start)))
+            }
+            bps_telemetry::Event::Unit {
+                case, start, end, ..
+            } => (&mut cases, case.clone(), us(end.saturating_sub(*start))),
+        };
+        match table.iter_mut().find(|(k, ..)| *k == key) {
+            Some((_, calls, total)) => {
+                *calls += 1;
+                *total += dur;
+            }
+            None => table.push((key, 1, dur)),
+        }
+    }
+    let by_total =
+        |a: &(String, u64, u64), b: &(String, u64, u64)| b.2.cmp(&a.2).then_with(|| a.0.cmp(&b.0));
+    phases.sort_by(by_total);
+    cases.sort_by(by_total);
+
+    println!("== profile: {} ({scale_label} scale) ==", targets.join(" "));
+    println!();
+    println!("phases (wall time, nested spans overlap):");
+    println!(
+        "  {:<28} {:>6} {:>12} {:>7}",
+        "phase", "calls", "total", "share"
+    );
+    for (name, calls, total) in &phases {
+        println!(
+            "  {:<28} {:>6} {:>12} {:>6.1}%",
+            name,
+            calls,
+            ms(*total),
+            *total as f64 * 100.0 / wall as f64
+        );
+    }
+    if phases.is_empty() {
+        println!("  (no phase spans recorded)");
+    }
+    println!();
+    println!("cases (sweep unit time; cached cases never run):");
+    println!(
+        "  {:<28} {:>6} {:>12} {:>12}",
+        "case", "units", "total", "mean"
+    );
+    const CASE_ROWS: usize = 20;
+    for (name, units, total) in cases.iter().take(CASE_ROWS) {
+        println!(
+            "  {:<28} {:>6} {:>12} {:>12}",
+            name,
+            units,
+            ms(*total),
+            ms(total / units.max(&1))
+        );
+    }
+    if cases.len() > CASE_ROWS {
+        println!("  ... and {} more case(s)", cases.len() - CASE_ROWS);
+    }
+    if cases.is_empty() {
+        println!("  (no sweep units ran — every case was served from cache)");
+    }
+    println!();
+    println!("counters (delta over this run):");
+    let mut any = false;
+    for (c, v) in bps_telemetry::snapshot() {
+        if v > 0 {
+            println!("  {:<28} {:>12}", c.name(), v);
+            any = true;
+        }
+    }
+    if !any {
+        println!("  (all zero)");
     }
 }
 
@@ -403,6 +625,138 @@ fn cmd_run(refs: &[String], scale: &Scale, csv_dir: Option<&PathBuf>) -> bool {
     bad
 }
 
+/// Expand fixed-target operands (`all` means every target) and reject
+/// unknown names *before* anything runs: a typo'd subcommand or target
+/// prints the full command surface and exits 2 instead of falling
+/// through to a partial run.
+fn expand_targets(targets: &[String]) -> Vec<&'static str> {
+    if targets.iter().any(|t| t == "all") {
+        return TARGETS.to_vec();
+    }
+    let mut out = Vec::with_capacity(targets.len());
+    for t in targets {
+        match TARGETS.iter().find(|k| **k == t.as_str()) {
+            Some(k) => out.push(*k),
+            None => {
+                eprintln!("unknown target: {t}");
+                eprintln!("subcommands: {}", SUBCOMMANDS.join(", "));
+                eprintln!("valid targets: all, {}", TARGETS.join(", "));
+                eprintln!(
+                    "bundled scenarios run with `reproduce run <name>`; see `reproduce list`"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// Run the fixed report targets in order. With `quiet`, reports are
+/// computed (and exported, if `--csv` asks) but not printed — `profile`
+/// wants the work without the figure text.
+fn run_fixed_targets(expanded: &[&str], scale: &Scale, csv_dir: Option<&PathBuf>, quiet: bool) {
+    let emit = |text: String| {
+        if !quiet {
+            print!("{text}");
+            println!();
+        }
+    };
+    let export_cc = |name: &str, fig: &bps_experiments::figures::common::CcFigure| {
+        if let Some(dir) = csv_dir {
+            match export::write_csv(dir, name, &export::cc_figure_csv(fig)) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => fail(format_args!(
+                    "cannot write {name}.csv under {}: {e}",
+                    dir.display()
+                )),
+            }
+        }
+    };
+    let export_detail = |name: &str, s: &bps_experiments::figures::common::DetailSeries| {
+        if let Some(dir) = csv_dir {
+            match export::write_csv(dir, name, &export::detail_series_csv(s)) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => fail(format_args!(
+                    "cannot write {name}.csv under {}: {e}",
+                    dir.display()
+                )),
+            }
+        }
+    };
+
+    for &target in expanded {
+        let _span = if bps_telemetry::enabled() {
+            bps_telemetry::phase(&format!("target:{target}"))
+        } else {
+            bps_telemetry::PhaseGuard::disabled()
+        };
+        match target {
+            "table1" => emit(tables::table1().to_string()),
+            "table2" => emit(tables::table2().to_string()),
+            "fig1" => emit(fig01::report().to_string()),
+            "fig2" => emit(fig02::report().to_string()),
+            "fig3" => emit(fig03::report().to_string()),
+            "fig4" => {
+                let fig = fig04::run(scale);
+                export_cc("fig04", &fig);
+                emit(fig.to_string());
+            }
+            "fig5" => {
+                let fig = fig05::run(scale);
+                export_cc("fig05", &fig);
+                emit(fig.to_string());
+            }
+            "fig6" => {
+                let fig = fig06::run(scale);
+                export_cc("fig06", &fig);
+                emit(fig.to_string());
+            }
+            "fig7" => {
+                let s = fig07::run(scale);
+                export_detail("fig07", &s);
+                emit(s.to_string());
+            }
+            "fig8" => {
+                let s = fig08::run(scale);
+                export_detail("fig08", &s);
+                emit(s.to_string());
+            }
+            "fig9" => {
+                let fig = fig09::run(scale);
+                export_cc("fig09", &fig);
+                emit(fig.to_string());
+            }
+            "fig10" => {
+                let s = fig10::run(scale);
+                export_detail("fig10", &s);
+                emit(s.to_string());
+            }
+            "fig11" => {
+                let fig = fig11::run(scale);
+                export_cc("fig11", &fig);
+                emit(fig.to_string());
+            }
+            "fig12" => {
+                let fig = fig12::run(scale);
+                export_cc("fig12", &fig);
+                emit(fig.to_string());
+            }
+            "summary" => emit(summary::report(scale)),
+            "extensions" => emit(extensions::report(scale)),
+            "overhead" => emit(overhead::report()),
+            "writes" => emit(writes::report(scale)),
+            "faults" => {
+                let figures = faults::run(scale);
+                for (kind, fig) in &figures {
+                    export_cc(&format!("faults-{}", kind.name()), fig);
+                }
+                emit(faults::render(&figures));
+            }
+            other => unreachable!("expand_targets admitted `{other}`"),
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -442,9 +796,12 @@ fn main() {
     }
 
     let mut scale = Scale::quick();
+    let mut scale_label = "quick";
     let mut targets: Vec<String> = Vec::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut journal_path: Option<PathBuf> = None;
+    let mut telemetry_path: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
     let mut no_cache = false;
     // The arguments a fresh journal stores in its header: everything
     // except the `--journal <path>` pair (resume installs its own).
@@ -455,7 +812,21 @@ fn main() {
     let mut expect_journal = false;
     let mut expect_deadline = false;
     let mut expect_max_failures = false;
+    let mut expect_telemetry = false;
+    let mut expect_out = false;
     for a in &args {
+        if expect_telemetry {
+            telemetry_path = Some(PathBuf::from(a));
+            header_args.push(a.clone());
+            expect_telemetry = false;
+            continue;
+        }
+        if expect_out {
+            out_dir = Some(PathBuf::from(a));
+            header_args.push(a.clone());
+            expect_out = false;
+            continue;
+        }
         if expect_csv_dir {
             csv_dir = Some(PathBuf::from(a));
             header_args.push(a.clone());
@@ -507,9 +878,18 @@ fn main() {
             continue;
         }
         match a.as_str() {
-            "--paper" => scale = Scale::paper(),
-            "--quick" => scale = Scale::quick(),
-            "--tiny" => scale = Scale::tiny(),
+            "--paper" => {
+                scale = Scale::paper();
+                scale_label = "paper";
+            }
+            "--quick" => {
+                scale = Scale::quick();
+                scale_label = "quick";
+            }
+            "--tiny" => {
+                scale = Scale::tiny();
+                scale_label = "tiny";
+            }
             "--csv" => expect_csv_dir = true,
             "--threads" => expect_threads = true,
             "--metrics" => expect_metrics = true,
@@ -519,6 +899,8 @@ fn main() {
             }
             "--deadline-ms" => expect_deadline = true,
             "--max-failures" => expect_max_failures = true,
+            "--telemetry" => expect_telemetry = true,
+            "--out" => expect_out = true,
             "--no-cache" => no_cache = true,
             other if other.starts_with("--") => usage(),
             other => targets.push(other.to_string()),
@@ -531,9 +913,21 @@ fn main() {
         || expect_journal
         || expect_deadline
         || expect_max_failures
+        || expect_telemetry
+        || expect_out
         || targets.is_empty()
     {
         usage();
+    }
+
+    // Arm the collector before anything that could emit telemetry runs.
+    // `profile` implies collection even without `--telemetry <path>`.
+    let profile_mode = targets[0] == "profile";
+    if telemetry_path.is_some() || profile_mode {
+        bps_telemetry::install(Arc::new(bps_telemetry::AtomicCollector::new()));
+    }
+    if let Some(path) = &telemetry_path {
+        let _ = TELEMETRY_OUT.set((path.clone(), args.clone()));
     }
     if let Some(path) = &journal_path {
         if resumed.is_some() {
@@ -603,111 +997,28 @@ fn main() {
             cmd_topology(&targets[1..], &scale);
             return;
         }
+        "docs" => {
+            if targets.len() > 1 {
+                usage();
+            }
+            let dir = out_dir
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("docs/reference"));
+            cmd_docs(&dir);
+        }
+        "profile" => {
+            if targets.len() < 2 {
+                usage();
+            }
+            let expanded = expand_targets(&targets[1..]);
+            run_fixed_targets(&expanded, &scale, csv_dir.as_ref(), true);
+            print_profile(&expanded, scale_label);
+            finish(false);
+        }
         _ => {}
     }
 
-    let expanded: Vec<&str> = if targets.iter().any(|t| t == "all") {
-        TARGETS.to_vec()
-    } else {
-        targets.iter().map(|s| s.as_str()).collect()
-    };
-
-    let export_cc = |name: &str, fig: &bps_experiments::figures::common::CcFigure| {
-        if let Some(dir) = &csv_dir {
-            match export::write_csv(dir, name, &export::cc_figure_csv(fig)) {
-                Ok(path) => eprintln!("wrote {}", path.display()),
-                Err(e) => fail(format_args!(
-                    "cannot write {name}.csv under {}: {e}",
-                    dir.display()
-                )),
-            }
-        }
-    };
-    let export_detail = |name: &str, s: &bps_experiments::figures::common::DetailSeries| {
-        if let Some(dir) = &csv_dir {
-            match export::write_csv(dir, name, &export::detail_series_csv(s)) {
-                Ok(path) => eprintln!("wrote {}", path.display()),
-                Err(e) => fail(format_args!(
-                    "cannot write {name}.csv under {}: {e}",
-                    dir.display()
-                )),
-            }
-        }
-    };
-
-    for target in expanded {
-        match target {
-            "table1" => print!("{}", tables::table1()),
-            "table2" => print!("{}", tables::table2()),
-            "fig1" => print!("{}", fig01::report()),
-            "fig2" => print!("{}", fig02::report()),
-            "fig3" => print!("{}", fig03::report()),
-            "fig4" => {
-                let fig = fig04::run(&scale);
-                export_cc("fig04", &fig);
-                print!("{fig}");
-            }
-            "fig5" => {
-                let fig = fig05::run(&scale);
-                export_cc("fig05", &fig);
-                print!("{fig}");
-            }
-            "fig6" => {
-                let fig = fig06::run(&scale);
-                export_cc("fig06", &fig);
-                print!("{fig}");
-            }
-            "fig7" => {
-                let s = fig07::run(&scale);
-                export_detail("fig07", &s);
-                print!("{s}");
-            }
-            "fig8" => {
-                let s = fig08::run(&scale);
-                export_detail("fig08", &s);
-                print!("{s}");
-            }
-            "fig9" => {
-                let fig = fig09::run(&scale);
-                export_cc("fig09", &fig);
-                print!("{fig}");
-            }
-            "fig10" => {
-                let s = fig10::run(&scale);
-                export_detail("fig10", &s);
-                print!("{s}");
-            }
-            "fig11" => {
-                let fig = fig11::run(&scale);
-                export_cc("fig11", &fig);
-                print!("{fig}");
-            }
-            "fig12" => {
-                let fig = fig12::run(&scale);
-                export_cc("fig12", &fig);
-                print!("{fig}");
-            }
-            "summary" => print!("{}", summary::report(&scale)),
-            "extensions" => print!("{}", extensions::report(&scale)),
-            "overhead" => print!("{}", overhead::report()),
-            "writes" => print!("{}", writes::report(&scale)),
-            "faults" => {
-                let figures = faults::run(&scale);
-                for (kind, fig) in &figures {
-                    export_cc(&format!("faults-{}", kind.name()), fig);
-                }
-                print!("{}", faults::render(&figures));
-            }
-            other => {
-                eprintln!("unknown target: {other}");
-                eprintln!("valid targets: all, {}", TARGETS.join(", "));
-                eprintln!(
-                    "bundled scenarios run with `reproduce run <name>`; see `reproduce list`"
-                );
-                std::process::exit(2);
-            }
-        }
-        println!();
-    }
+    let expanded = expand_targets(&targets);
+    run_fixed_targets(&expanded, &scale, csv_dir.as_ref(), false);
     finish(false);
 }

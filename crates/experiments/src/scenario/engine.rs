@@ -781,8 +781,12 @@ pub fn run_with_opts(
     memo_on: bool,
     opts: &RunOpts,
 ) -> Result<ScenarioOutput, EngineError> {
-    let resolved = expand(scenario, scale)?;
+    let resolved = {
+        let _span = bps_telemetry::phase("engine.expand");
+        expand(scenario, scale)?
+    };
     let selection = effective_selection(scenario)?;
+    let cache_span = bps_telemetry::phase("engine.cache-lookup");
 
     // Serve cases already simulated this process from the memo; only the
     // rest pay for workload construction and the sweep. The relative order
@@ -815,6 +819,11 @@ pub fn run_with_opts(
     if memo_on {
         MEMO_HITS.fetch_add((resolved.len() - missing.len()) as u64, Ordering::Relaxed);
         MEMO_MISSES.fetch_add(missing.len() as u64, Ordering::Relaxed);
+        bps_telemetry::add(
+            bps_telemetry::Counter::CacheL1Hits,
+            (resolved.len() - missing.len()) as u64,
+        );
+        bps_telemetry::add(bps_telemetry::Counter::CacheL1Misses, missing.len() as u64);
     }
 
     // The persistent store (L2) serves cases simulated by *any* process
@@ -845,8 +854,10 @@ pub fn run_with_opts(
     } else {
         missing
     };
+    drop(cache_span);
 
     if !missing.is_empty() {
+        let _span = bps_telemetry::phase("engine.sweep");
         let (fresh, failures) = if opts.supervised() {
             run_cases_supervised(&resolved, &missing, &keys, scale, &selection, exec, opts)
         } else {
@@ -890,6 +901,7 @@ pub fn run_with_opts(
         .into_iter()
         .map(|p| p.expect("every case scored"))
         .collect();
+    let _span = bps_telemetry::phase("engine.score");
     Ok(match &scenario.output {
         OutputSpec::Cc => ScenarioOutput::Cc(CcFigure::from_points_selected(
             scenario.title.clone(),

@@ -80,7 +80,9 @@ enum EntryState {
     /// Valid and written by this build: the stored key and point.
     Fresh(String, CasePoint),
     /// Structurally valid but written by another build or format version.
-    Stale(String),
+    /// Carries the human-readable reason and the foreign origin marker
+    /// (`build <fingerprint>` or `format v<N>`) `cache stats` groups by.
+    Stale(String, String),
     /// Torn, bit-flipped, or otherwise unparseable.
     Corrupt(String),
 }
@@ -184,9 +186,10 @@ fn parse_entry(text: &str) -> EntryState {
         return corrupt("malformed header");
     };
     if version != VERSION {
-        return EntryState::Stale(format!(
-            "format version {version}; this build reads {VERSION}"
-        ));
+        return EntryState::Stale(
+            format!("format version {version}; this build reads {VERSION}"),
+            format!("format v{version}"),
+        );
     }
     let Some(payload) = rest.get(..len) else {
         return corrupt(&format!(
@@ -202,10 +205,13 @@ fn parse_entry(text: &str) -> EntryState {
     };
     if let Ok(serde::Value::Str(fp)) = v.field("fingerprint") {
         if fp != code_fingerprint() {
-            return EntryState::Stale(format!(
-                "written by build {fp}; this build is {}",
-                code_fingerprint()
-            ));
+            return EntryState::Stale(
+                format!(
+                    "written by build {fp}; this build is {}",
+                    code_fingerprint()
+                ),
+                format!("build {fp}"),
+            );
         }
     } else {
         return corrupt("missing fingerprint");
@@ -217,7 +223,7 @@ fn parse_entry(text: &str) -> EntryState {
 }
 
 /// Aggregate counts from one walk of the store directory.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct StoreStats {
     /// Entry files present.
     pub entries: usize,
@@ -229,6 +235,10 @@ pub struct StoreStats {
     pub corrupt: usize,
     /// Total bytes of all entry files.
     pub bytes: u64,
+    /// Stale entries grouped by origin (`build <fingerprint>` or
+    /// `format v<N>`), most numerous first, ties by name — so `cache
+    /// stats` can say *which* rebuild orphaned them.
+    pub stale_origins: Vec<(String, usize)>,
 }
 
 /// One unservable entry, named for `cache verify`.
@@ -269,16 +279,31 @@ impl CaseStore {
     /// stale, corrupt, or a filename collision). Misses are silent —
     /// the engine just simulates.
     pub fn lookup(&self, key: &str) -> Option<CasePoint> {
+        use bps_telemetry::Counter;
         let found =
             fs::read_to_string(self.entry_path(key))
                 .ok()
                 .and_then(|text| match parse_entry(&text) {
                     EntryState::Fresh(stored_key, point) if stored_key == key => Some(point),
-                    _ => None,
+                    EntryState::Stale(..) => {
+                        bps_telemetry::incr(Counter::CacheL2Stale);
+                        None
+                    }
+                    EntryState::Corrupt(_) => {
+                        bps_telemetry::incr(Counter::CacheL2Corrupt);
+                        None
+                    }
+                    EntryState::Fresh(..) => None,
                 });
         match &found {
-            Some(_) => STORE_HITS.fetch_add(1, Ordering::Relaxed),
-            None => STORE_MISSES.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                bps_telemetry::incr(Counter::CacheL2Hits);
+            }
+            None => {
+                STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+                bps_telemetry::incr(Counter::CacheL2Misses);
+            }
         };
         found
     }
@@ -296,6 +321,8 @@ impl CaseStore {
                 "warning: case store: cannot write entry under {}: {e}",
                 self.dir.display()
             );
+        } else {
+            bps_telemetry::incr(bps_telemetry::Counter::CacheL2Writes);
         }
     }
 
@@ -330,15 +357,24 @@ impl CaseStore {
     /// Walk the store and count entries by state.
     pub fn stats(&self) -> StoreStats {
         let mut s = StoreStats::default();
+        let mut origins: Vec<(String, usize)> = Vec::new();
         for path in self.entry_files() {
             s.entries += 1;
             s.bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             match fs::read_to_string(&path).map(|t| parse_entry(&t)) {
                 Ok(EntryState::Fresh(..)) => s.fresh += 1,
-                Ok(EntryState::Stale(_)) => s.stale += 1,
+                Ok(EntryState::Stale(_, origin)) => {
+                    s.stale += 1;
+                    match origins.iter_mut().find(|(o, _)| *o == origin) {
+                        Some((_, n)) => *n += 1,
+                        None => origins.push((origin, 1)),
+                    }
+                }
                 _ => s.corrupt += 1,
             }
         }
+        origins.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        s.stale_origins = origins;
         s
     }
 
@@ -355,7 +391,7 @@ impl CaseStore {
                 .unwrap_or_default();
             let reason = match fs::read_to_string(&path).map(|t| parse_entry(&t)) {
                 Ok(EntryState::Fresh(..)) => continue,
-                Ok(EntryState::Stale(r)) => format!("stale: {r}"),
+                Ok(EntryState::Stale(r, _)) => format!("stale: {r}"),
                 Ok(EntryState::Corrupt(r)) => format!("corrupt: {r}"),
                 Err(e) => format!("unreadable: {e}"),
             };

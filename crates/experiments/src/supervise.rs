@@ -46,6 +46,27 @@ pub enum FailureKind {
 }
 
 impl FailureKind {
+    /// Every failure kind, in exit-code order — the registry the generated
+    /// failure/exit-code reference page renders from.
+    pub const ALL: [FailureKind; 4] = [
+        FailureKind::InvalidSpec,
+        FailureKind::Io,
+        FailureKind::Panic,
+        FailureKind::Timeout,
+    ];
+
+    /// One-line description for the generated reference page.
+    pub fn describe(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "the unit panicked (a poisoned workload, a tripped invariant)",
+            FailureKind::Timeout => "the unit overran its wall-clock deadline and was detached",
+            FailureKind::InvalidSpec => {
+                "the unit's spec could not be built into a runnable workload"
+            }
+            FailureKind::Io => "an I/O error (unreadable scenario file, unwritable output)",
+        }
+    }
+
     /// Stable lowercase name used in reports, CSV annotations, and the
     /// journal.
     pub fn name(self) -> &'static str {
@@ -318,11 +339,19 @@ struct Shared {
 pub type OnDone = dyn Fn(&UnitTask, &UnitValues) + Send + Sync;
 
 fn run_unit(task: &UnitTask, on_done: &OnDone) -> UnitOutcome {
+    let started = bps_telemetry::now();
     let out = match catch_unwind(AssertUnwindSafe(|| (task.work)())) {
         Ok(Ok(values)) => UnitOutcome::Done(values),
         Ok(Err((kind, detail))) => UnitOutcome::Failed(kind, detail),
         Err(payload) => UnitOutcome::Failed(FailureKind::Panic, panic_message(payload)),
     };
+    if bps_telemetry::enabled() {
+        bps_telemetry::unit(&task.label, task.seed, started);
+        bps_telemetry::incr(bps_telemetry::Counter::SweepUnits);
+        if matches!(out, UnitOutcome::Failed(..)) {
+            bps_telemetry::incr(bps_telemetry::Counter::SweepFailures);
+        }
+    }
     if let UnitOutcome::Done(values) = &out {
         // Journal before reporting completion, so "all units done" implies
         // "all units journaled" — a kill can lose at most in-flight units.

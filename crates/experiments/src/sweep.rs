@@ -172,11 +172,20 @@ impl SweepExec {
         let units = cases.len() * seeds.len();
         let runs: Vec<Result<StreamingMetrics, String>> = self.run_indexed(units, |i| {
             let (ci, si) = (i / seeds.len(), i % seeds.len());
-            catch_unwind(AssertUnwindSafe(|| {
+            let started = bps_telemetry::now();
+            let run = catch_unwind(AssertUnwindSafe(|| {
                 crate::supervise::apply_test_hooks(&cases[ci].0);
                 run_case_streaming_selected(&cases[ci].1, seeds[si], selection)
             }))
-            .map_err(panic_message)
+            .map_err(panic_message);
+            if bps_telemetry::enabled() {
+                bps_telemetry::unit(&cases[ci].0, seeds[si], started);
+                bps_telemetry::incr(bps_telemetry::Counter::SweepUnits);
+                if run.is_err() {
+                    bps_telemetry::incr(bps_telemetry::Counter::SweepFailures);
+                }
+            }
+            run
         });
         let mut points = Vec::with_capacity(cases.len());
         let mut failures = Vec::new();

@@ -165,6 +165,7 @@ pub fn run_processes<E, P: Process<E>>(processes: &mut [P], env: &mut E) -> RunO
         "deadlock: processes still parked at end of run"
     );
     ENGINE_SCRATCH.set(Some(s));
+    bps_telemetry::add(bps_telemetry::Counter::EngineWakes, wakes);
 
     RunOutcome {
         finish_times,

@@ -161,23 +161,33 @@ impl FaultInjector {
         if self.plan.slowdowns.is_empty() {
             return 1.0;
         }
-        self.plan
+        let factor: f64 = self
+            .plan
             .slowdowns
             .iter()
             .filter(|w| w.server == server && w.start <= at && at < w.end)
             .map(|w| w.factor)
-            .product()
+            .product();
+        if factor != 1.0 {
+            bps_telemetry::incr(bps_telemetry::Counter::FaultSlowdowns);
+        }
+        factor
     }
 
     /// If `server` is inside an outage window at `at`, the recovery
     /// instant.
     pub fn outage_until(&self, server: usize, at: Nanos) -> Option<Nanos> {
-        self.plan
+        let until = self
+            .plan
             .outages
             .iter()
             .filter(|o| o.server == server && o.start <= at && at < o.end)
             .map(|o| o.end)
-            .max()
+            .max();
+        if until.is_some() {
+            bps_telemetry::incr(bps_telemetry::Counter::FaultOutageRefusals);
+        }
+        until
     }
 
     /// Draw: does this grant on `server`'s device complete with a
@@ -190,13 +200,21 @@ impl FaultInjector {
                 rate += extra;
             }
         }
-        rate > 0.0 && self.rng.unit() < rate.min(1.0)
+        let hit = rate > 0.0 && self.rng.unit() < rate.min(1.0);
+        if hit {
+            bps_telemetry::incr(bps_telemetry::Counter::FaultDeviceErrors);
+        }
+        hit
     }
 
     /// Draw: does this payload transfer lose a packet? Never touches the
     /// RNG when the rate is zero.
     pub fn link_lost(&mut self) -> bool {
-        self.plan.link_loss_rate > 0.0 && self.rng.unit() < self.plan.link_loss_rate
+        let lost = self.plan.link_loss_rate > 0.0 && self.rng.unit() < self.plan.link_loss_rate;
+        if lost {
+            bps_telemetry::incr(bps_telemetry::Counter::FaultLinkLosses);
+        }
+        lost
     }
 
     /// Delay one lost transfer pays before delivery.
